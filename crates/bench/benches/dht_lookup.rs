@@ -1,0 +1,42 @@
+//! DHT lookup cost: the Θ(log n) routing underlying §4's pipelining
+//! argument. Chord fingers vs Naor–Wieder distance halving vs direct
+//! owner lookup (the oracle the selectors use).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rendez_dht::{ChordNet, NaorWiederNet, Ring};
+use rendez_sim::rng::SplitMix64;
+use rendez_sim::NodeId;
+
+fn bench_dht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_lookup");
+    for &n in &[1_000usize, 10_000] {
+        let ring = Ring::random(n, 3);
+        let chord = ChordNet::build(ring.clone());
+        let nw = NaorWiederNet::new(ring.clone(), 3);
+
+        g.bench_with_input(BenchmarkId::new("owner_direct", n), &n, |b, _| {
+            let mut h = SplitMix64::new(1);
+            b.iter(|| ring.owner(h.next_u64()).0);
+        });
+
+        g.bench_with_input(BenchmarkId::new("chord_route", n), &n, |b, &n| {
+            let mut h = SplitMix64::new(2);
+            b.iter(|| {
+                let src = NodeId((h.next_u64() % n as u64) as u32);
+                chord.route(src, h.next_u64()).hops
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("naor_wieder_route", n), &n, |b, &n| {
+            let mut h = SplitMix64::new(3);
+            b.iter(|| {
+                let src = NodeId((h.next_u64() % n as u64) as u32);
+                nw.route(src, h.next_u64()).1
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dht);
+criterion_main!(benches);

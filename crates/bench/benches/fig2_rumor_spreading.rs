@@ -1,0 +1,51 @@
+//! Criterion counterpart of Figure 2: one full spreading run per
+//! iteration, dating service vs the fair baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::{Platform, UniformSelector};
+use rendez_gossip::{run_spread, DatingSpread, FairPushPull, Push};
+use rendez_sim::NodeId;
+
+fn bench_rumor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_rumor_spreading");
+    g.sample_size(20);
+    for &n in &[100usize, 1_000] {
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+
+        g.bench_with_input(BenchmarkId::new("dating", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut p = DatingSpread::new(&selector);
+                run_spread(&mut p, &platform, NodeId(0), &mut rng, 10_000).rounds
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("push", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| {
+                run_spread(&mut Push::new(), &platform, NodeId(0), &mut rng, 10_000).rounds
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("push_fair_pull", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| {
+                run_spread(
+                    &mut FairPushPull::new(n),
+                    &platform,
+                    NodeId(0),
+                    &mut rng,
+                    10_000,
+                )
+                .rounds
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rumor);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! GF(256) and decoder throughput: the mongering protocol's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rendez_coding::gf256::mul_add_assign;
+use rendez_coding::{Decoder, Encoder};
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256");
+    for &len in &[64usize, 1_024, 16_384] {
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("mul_add_assign", len), &len, |b, &len| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let src: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let mut dst: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            b.iter(|| {
+                mul_add_assign(&mut dst, &src, 0x53);
+                dst[0]
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decoder");
+    for &k in &[8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("full_decode", k), &k, |b, &k| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let msg: Vec<u8> = (0..k * 64).map(|_| rng.gen()).collect();
+            let enc = Encoder::from_message(&msg, k);
+            b.iter(|| {
+                let mut d = Decoder::new(k, enc.block_len());
+                while !d.is_complete() {
+                    d.ingest(enc.encode(&mut rng));
+                }
+                d.decode().expect("complete").len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gf256);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Matching primitives: the matchmaker's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::matching::{partial_shuffle, random_permutation, uniform_k_matching};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    for &q in &[16usize, 256, 4_096] {
+        g.throughput(Throughput::Elements(q as u64));
+        g.bench_with_input(BenchmarkId::new("partial_shuffle", q), &q, |b, &q| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut items: Vec<u32> = (0..(2 * q) as u32).collect();
+            b.iter(|| {
+                partial_shuffle(&mut items, q, &mut rng);
+                items[0]
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("random_permutation", q), &q, |b, &q| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| random_permutation(q, &mut rng).len());
+        });
+        g.bench_with_input(BenchmarkId::new("uniform_k_matching", q), &q, |b, &q| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| uniform_k_matching(2 * q, 2 * q, q, &mut rng).len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

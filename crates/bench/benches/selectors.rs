@@ -1,0 +1,38 @@
+//! Selector throughput: the `select` call is the hot loop of every
+//! dating round (`Bin + Bout` draws per round). Ablation: alias-method
+//! weighted draw vs uniform vs DHT owner lookup (binary search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::{AliasSelector, NodeSelector, UniformSelector};
+use rendez_dht::DhtSelector;
+
+const DRAWS: u64 = 10_000;
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selectors");
+    g.throughput(Throughput::Elements(DRAWS));
+    for &n in &[1_000usize, 100_000] {
+        let uniform = UniformSelector::new(n);
+        let zipf = AliasSelector::zipf(n, 1.0);
+        let dht = DhtSelector::random(n, 5);
+        fn run(b: &mut criterion::Bencher<'_>, sel: &dyn NodeSelector) {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..DRAWS {
+                    acc = acc.wrapping_add(sel.select(&mut rng).0 as u64);
+                }
+                acc
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| run(b, &uniform));
+        g.bench_with_input(BenchmarkId::new("alias_zipf", n), &n, |b, _| run(b, &zipf));
+        g.bench_with_input(BenchmarkId::new("dht_owner", n), &n, |b, _| run(b, &dht));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

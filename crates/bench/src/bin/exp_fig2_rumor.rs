@@ -1,0 +1,43 @@
+//! Figure 2 regenerator: rounds to spread a single rumor.
+//!
+//! Paper: n from 10 to 10⁵; algorithms PUSH, PULL, PUSH&PULL, fair PULL,
+//! fair PUSH&PULL, dating service; 10⁴ runs (10³ for large n). Expected
+//! ordering fastest→slowest: push-pull, push-fair-pull, pull, fair-pull,
+//! push, dating; dating < 2× push-fair-pull.
+//!
+//! Usage: `exp_fig2_rumor [--quick|--full] [--seed S] [--threads T] [--csv]`
+
+use rendez_bench::experiments::fig2::{rumor_point, Algo};
+use rendez_bench::{table, CliArgs, Table};
+
+fn main() {
+    let args = CliArgs::parse();
+    let seed = args.get_u64("seed", 0xF162);
+    let threads = args.get_u64("threads", 0) as usize;
+    let default_ns: Vec<usize> = if args.has("quick") {
+        vec![10, 100, 1000]
+    } else {
+        vec![10, 100, 1000, 10_000, 100_000]
+    };
+    let ns = args.get_usize_list("n", &default_ns);
+
+    println!("# Figure 2 — rounds to spread a single rumor (mean ± sd)");
+    println!("# seed={seed} scale={}", args.scale());
+    let mut headers = vec!["n".to_string(), "trials".to_string()];
+    headers.extend(Algo::ALL.iter().map(|a| a.name().to_string()));
+    let mut t = Table::new(headers, args.has("csv"));
+
+    for &n in &ns {
+        let paper_trials: u64 = if n >= 10_000 { 1_000 } else { 10_000 };
+        let trials = args.scaled_trials(paper_trials, 30);
+        let mut row = vec![n.to_string(), trials.to_string()];
+        for &a in &Algo::ALL {
+            let s = rumor_point(a, n, trials, seed ^ n as u64, threads);
+            row.push(table::pm(s.mean, s.std_dev, 1));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("# paper ordering: push-pull < push-fair-pull < pull < fair-pull < push < dating");
+    println!("# paper claim: dating < 2x the bandwidth-honest baselines (push, fair-pull)");
+}

@@ -1,0 +1,64 @@
+//! §4 pipelining experiment: k dating rounds over DHT routing.
+//!
+//! Routing a request on the DHT costs Θ(log n) hops; without pipelining
+//! each dating round pays it serially, with pipelining "for k rounds of
+//! dating service we need time Θ(log n + k)". We measure real Chord and
+//! Naor–Wieder hop counts on random rings and print both makespans and
+//! the speedup.
+//!
+//! Usage: `exp_pipeline [--quick|--full] [--k K] [--seed S]`
+
+use rendez_bench::{CliArgs, Table};
+use rendez_core::pipeline::{
+    pipeline_speedup, pipelined_makespan, round_latency, sequential_makespan,
+};
+use rendez_dht::{ChordNet, NaorWiederNet, Ring};
+
+fn main() {
+    let args = CliArgs::parse();
+    let seed = args.get_u64("seed", 0x919);
+    let k = args.get_u64("k", 100);
+    let samples = args.scaled_trials(5_000, 300) as usize;
+    let default_ns: Vec<usize> = if args.has("quick") {
+        vec![100, 1_000]
+    } else {
+        vec![100, 1_000, 10_000, 100_000]
+    };
+    let ns = args.get_usize_list("n", &default_ns);
+
+    println!("# §4 pipelining — k={k} dating rounds over DHT routing ({samples} lookups/point)");
+    let mut t = Table::new(
+        vec![
+            "n",
+            "log2 n",
+            "chord_hops",
+            "nw_hops",
+            "round_latency",
+            "sequential",
+            "pipelined",
+            "speedup",
+        ],
+        args.has("csv"),
+    );
+
+    for &n in &ns {
+        let ring = Ring::random(n, seed ^ n as u64);
+        let chord = ChordNet::build(ring.clone());
+        let (chord_mean, _) = chord.lookup_hops(samples, seed ^ 1);
+        let nw = NaorWiederNet::new(ring, 3);
+        let (nw_mean, _) = nw.lookup_hops(samples, seed ^ 2);
+        let hops = chord_mean.round() as u64;
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}", (n as f64).log2()),
+            format!("{chord_mean:.2}"),
+            format!("{nw_mean:.2}"),
+            round_latency(hops).to_string(),
+            sequential_makespan(k, hops).to_string(),
+            pipelined_makespan(k, hops).to_string(),
+            format!("{:.1}x", pipeline_speedup(k, hops)),
+        ]);
+    }
+    t.print();
+    println!("# expected: pipelined ≈ 2·log n + k, speedup → 2·hops+1 for k >> log n");
+}

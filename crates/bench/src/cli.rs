@@ -1,0 +1,145 @@
+//! Dependency-free command-line flags for the experiment harnesses.
+//!
+//! Syntax: `--name value` pairs and boolean `--flag`s. Values never start
+//! with `--`. Unknown flags are tolerated (harnesses share a vocabulary).
+
+use std::collections::HashMap;
+
+/// Parsed flags.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl CliArgs {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit token list (for tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(name) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.insert(name.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1; // stray positional: ignored
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Boolean flag presence (`--quick`, `--csv`, …).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// `--name N` as u64.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} wants an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name X` as f64.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} wants a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name a,b,c` as a usize list.
+    pub fn get_usize_list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} wants integers, got {s}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Shared scale convention: multiply paper-scale trial counts by this.
+    /// `--quick` → 1/50 scale (CI), `--full` → 1, default → 1/10.
+    pub fn scale(&self) -> f64 {
+        if self.has("quick") {
+            0.02
+        } else if self.has("full") {
+            1.0
+        } else {
+            0.1
+        }
+    }
+
+    /// Scale a paper trial count, with a floor.
+    pub fn scaled_trials(&self, paper: u64, floor: u64) -> u64 {
+        ((paper as f64 * self.scale()) as u64).max(floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> CliArgs {
+        CliArgs::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = args(&["--seed", "42", "--quick", "--n", "10,20"]);
+        assert_eq!(a.get_u64("seed", 0), 42);
+        assert!(a.has("quick"));
+        assert!(!a.has("csv"));
+        assert_eq!(a.get_usize_list("n", &[1]), vec![10, 20]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get_u64("seed", 7), 7);
+        assert_eq!(a.get_f64("alpha", 0.5), 0.5);
+        assert_eq!(a.get_usize_list("n", &[3, 4]), vec![3, 4]);
+    }
+
+    #[test]
+    fn scale_modes() {
+        assert_eq!(args(&["--quick"]).scale(), 0.02);
+        assert_eq!(args(&["--full"]).scale(), 1.0);
+        assert_eq!(args(&[]).scale(), 0.1);
+        assert_eq!(args(&["--quick"]).scaled_trials(10_000, 50), 200);
+        assert_eq!(args(&["--quick"]).scaled_trials(100, 50), 50);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = args(&["--csv", "--seed", "1"]);
+        assert!(a.has("csv"));
+        assert_eq!(a.get_u64("seed", 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wants an integer")]
+    fn bad_integer_panics() {
+        let a = args(&["--seed", "xyz"]);
+        let _ = a.get_u64("seed", 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 2 kernel: rounds to spread a single rumor, per algorithm.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::{Platform, UniformSelector};
+use rendez_gossip::{run_spread, DatingSpread, FairPushPull, FairPull, Pull, Push, PushPull};
+use rendez_sim::{run_trials, NodeId};
+use rendez_stats::{RunningStats, Summary};
+
+/// The six Figure 2 algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Simple PUSH.
+    Push,
+    /// Simple (unfair) PULL.
+    Pull,
+    /// Simple PUSH&PULL.
+    PushPull,
+    /// Fair PULL (one answer per informed node per round).
+    FairPull,
+    /// PUSH + fair PULL — the paper's fair yardstick.
+    FairPushPull,
+    /// The dating service with the uniform selector.
+    Dating,
+}
+
+impl Algo {
+    /// All algorithms, in the paper's legend order.
+    pub const ALL: [Algo; 6] = [
+        Algo::Push,
+        Algo::Pull,
+        Algo::PushPull,
+        Algo::FairPull,
+        Algo::FairPushPull,
+        Algo::Dating,
+    ];
+
+    /// Table column label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Push => "push",
+            Algo::Pull => "pull",
+            Algo::PushPull => "push-pull",
+            Algo::FairPull => "fair-pull",
+            Algo::FairPushPull => "push-fair-pull",
+            Algo::Dating => "dating",
+        }
+    }
+}
+
+/// Rounds until all `n` nodes are informed: mean ± sd over `trials`
+/// independent runs (parallelized).
+pub fn rumor_point(algo: Algo, n: usize, trials: u64, seed: u64, threads: usize) -> Summary {
+    let platform = Platform::unit(n);
+    let selector = UniformSelector::new(n);
+    let max_rounds = 200 + 80 * (n as f64).log2().ceil() as u64;
+    let rounds = run_trials(trials as usize, seed, threads, |t| {
+        let mut rng = SmallRng::seed_from_u64(t.seed);
+        let source = NodeId(0);
+        let r = match algo {
+            Algo::Push => run_spread(&mut Push::new(), &platform, source, &mut rng, max_rounds),
+            Algo::Pull => run_spread(&mut Pull::new(), &platform, source, &mut rng, max_rounds),
+            Algo::PushPull => {
+                run_spread(&mut PushPull::new(), &platform, source, &mut rng, max_rounds)
+            }
+            Algo::FairPull => {
+                run_spread(&mut FairPull::new(n), &platform, source, &mut rng, max_rounds)
+            }
+            Algo::FairPushPull => run_spread(
+                &mut FairPushPull::new(n),
+                &platform,
+                source,
+                &mut rng,
+                max_rounds,
+            ),
+            Algo::Dating => {
+                let mut p = DatingSpread::new(&selector);
+                run_spread(&mut p, &platform, source, &mut rng, max_rounds)
+            }
+        };
+        assert!(r.completed, "{} did not complete at n={n}", algo.name());
+        r.rounds as f64
+    });
+    RunningStats::from_iter(rounds).summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ordering_holds_at_n_1000() {
+        // Figure 2's ordering, fastest → slowest:
+        // push-pull, push-fair-pull, pull, fair-pull, push, dating.
+        let n = 1000;
+        let trials = 60;
+        let means: Vec<(Algo, f64)> = Algo::ALL
+            .iter()
+            .map(|&a| (a, rumor_point(a, n, trials, 7, 0).mean))
+            .collect();
+        let get = |a: Algo| means.iter().find(|&&(x, _)| x == a).expect("present").1;
+        assert!(get(Algo::PushPull) < get(Algo::FairPushPull));
+        assert!(get(Algo::FairPushPull) < get(Algo::Pull));
+        assert!(get(Algo::Pull) < get(Algo::FairPull));
+        assert!(get(Algo::FairPull) < get(Algo::Push));
+        assert!(get(Algo::Push) < get(Algo::Dating));
+        // §4's headline comparison: "we should actually compare the rumor
+        // spreading based on the dating service only with the PUSH and
+        // fair PULL methods. It is less than 2 times slower than them" —
+        // i.e. than the two bandwidth-honest protocols individually (the
+        // combined PUSH + fair PULL uses double bandwidth per round).
+        assert!(
+            get(Algo::Dating) < 2.0 * get(Algo::Push),
+            "dating {} vs 2× push {}",
+            get(Algo::Dating),
+            2.0 * get(Algo::Push)
+        );
+        assert!(
+            get(Algo::Dating) < 2.0 * get(Algo::FairPull),
+            "dating {} vs 2× fair-pull {}",
+            get(Algo::Dating),
+            2.0 * get(Algo::FairPull)
+        );
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically() {
+        let small = rumor_point(Algo::Dating, 100, 40, 1, 0);
+        let large = rumor_point(Algo::Dating, 10_000, 40, 1, 0);
+        // log(10⁴)/log(10²) = 2: rounds should roughly double, not 100×.
+        let ratio = large.mean / small.mean;
+        assert!(
+            (1.2..4.0).contains(&ratio),
+            "scaling ratio {ratio} not logarithmic"
+        );
+    }
+}

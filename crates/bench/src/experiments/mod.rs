@@ -1,0 +1,8 @@
+//! Reusable experiment kernels shared by the harness binaries and the
+//! integration tests.
+
+pub mod fig1;
+pub mod fig2;
+
+pub use fig1::{dht_sweep, uniform_point, DhtSweep};
+pub use fig2::{rumor_point, Algo};

@@ -1,0 +1,21 @@
+//! # rendez-bench — experiment harnesses and benchmarks
+//!
+//! One binary per paper artifact (see `src/bin/exp_*.rs`) plus Criterion
+//! micro-benchmarks (see `benches/`). This library holds the shared
+//! machinery: a dependency-free flag parser ([`cli`]), aligned/CSV table
+//! printing ([`table`]) and the reusable experiment kernels
+//! ([`experiments`]) that both the binaries and the integration tests
+//! call.
+//!
+//! Every harness accepts:
+//!
+//! * `--quick` — CI-scale parameters (seconds, not minutes);
+//! * `--full`  — the paper's full trial counts;
+//! * `--seed N`, `--threads N`, `--csv` — reproducibility and output.
+
+pub mod cli;
+pub mod experiments;
+pub mod table;
+
+pub use cli::CliArgs;
+pub use table::Table;

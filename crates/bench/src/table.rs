@@ -1,0 +1,137 @@
+//! Aligned-text / CSV table output for the experiment harnesses.
+
+use std::io::Write;
+
+/// A simple experiment results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: bool,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>, csv: bool) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (aligned text or CSV).
+    pub fn render(&self) -> String {
+        if self.csv {
+            let mut out = String::new();
+            out.push_str(&self.headers.join(","));
+            out.push('\n');
+            for r in &self.rows {
+                out.push_str(&r.join(","));
+                out.push('\n');
+            }
+            return out;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout (locked, buffered).
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(self.render().as_bytes());
+    }
+}
+
+/// Format a mean ± sd pair.
+pub fn pm(mean: f64, sd: f64, prec: usize) -> String {
+    format!("{mean:.prec$}±{sd:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_rendering() {
+        let mut t = Table::new(vec!["n", "value"], false);
+        t.row(vec!["10", "0.476"]);
+        t.row(vec!["100000", "0.477"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned numbers line up on the right edge.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(vec!["a", "b"], true);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.render(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn pm_format() {
+        assert_eq!(pm(0.4761, 0.0123, 3), "0.476±0.012");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"], false);
+        t.row(vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Incremental Gaussian elimination over GF(256).
+//!
+//! Each received symbol is reduced against the pivot rows held so far; if
+//! anything survives, it becomes a new pivot (rank +1), otherwise the
+//! symbol was non-innovative. At rank `k`, back-substitution recovers the
+//! original blocks. Complexity: `O(k · (k + block_len))` per symbol —
+//! the standard RLNC decoder.
+
+use crate::gf256;
+use crate::symbol::Symbol;
+
+/// Incremental decoder for a `k`-block message.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    k: usize,
+    block_len: usize,
+    /// `rows[p]` is the pivot row whose leading coefficient is column `p`.
+    rows: Vec<Option<Symbol>>,
+    rank: usize,
+}
+
+impl Decoder {
+    /// Decoder for `k` blocks of `block_len` bytes.
+    pub fn new(k: usize, block_len: usize) -> Self {
+        assert!(k > 0, "need at least one block");
+        Self {
+            k,
+            block_len,
+            rows: vec![None; k],
+            rank: 0,
+        }
+    }
+
+    /// Number of source blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current rank (innovative symbols absorbed).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// True when the message is fully decodable.
+    pub fn is_complete(&self) -> bool {
+        self.rank == self.k
+    }
+
+    /// Ingest a symbol. Returns true iff it was innovative.
+    ///
+    /// # Panics
+    /// Panics if the symbol's dimensions do not match the decoder's.
+    pub fn ingest(&mut self, mut sym: Symbol) -> bool {
+        assert_eq!(sym.k(), self.k, "coefficient length mismatch");
+        assert_eq!(sym.payload.len(), self.block_len, "payload length mismatch");
+        // Reduce against existing pivots.
+        for p in 0..self.k {
+            if sym.coeffs[p] == 0 {
+                continue;
+            }
+            match &self.rows[p] {
+                Some(pivot) => {
+                    let c = sym.coeffs[p];
+                    // sym -= c * pivot (pivot has leading coefficient 1).
+                    let (pc, pp) = (&pivot.coeffs, &pivot.payload);
+                    gf256::mul_add_assign(&mut sym.coeffs, pc, c);
+                    gf256::mul_add_assign(&mut sym.payload, pp, c);
+                    debug_assert_eq!(sym.coeffs[p], 0);
+                }
+                None => {
+                    // Normalize to leading coefficient 1 and install.
+                    let inv = gf256::inv(sym.coeffs[p]);
+                    gf256::scale_assign(&mut sym.coeffs, inv);
+                    gf256::scale_assign(&mut sym.payload, inv);
+                    self.rows[p] = Some(sym);
+                    self.rank += 1;
+                    return true;
+                }
+            }
+        }
+        false // fully reduced to zero: non-innovative
+    }
+
+    /// The node's current basis rows (for re-encoding).
+    pub fn basis(&self) -> Vec<Symbol> {
+        self.rows.iter().flatten().cloned().collect()
+    }
+
+    /// Recover the original blocks; `None` until rank `k`.
+    pub fn decode(&self) -> Option<Vec<Vec<u8>>> {
+        if !self.is_complete() {
+            return None;
+        }
+        // Back-substitution: eliminate above-diagonal coefficients.
+        let mut rows: Vec<Symbol> = self
+            .rows
+            .iter()
+            .map(|r| r.clone().expect("complete decoder has all pivots"))
+            .collect();
+        for p in (0..self.k).rev() {
+            let (upper, lower) = rows.split_at_mut(p);
+            let pivot = &lower[0];
+            for row in upper.iter_mut() {
+                let c = row.coeffs[p];
+                if c != 0 {
+                    gf256::mul_add_assign(&mut row.coeffs, &pivot.coeffs, c);
+                    gf256::mul_add_assign(&mut row.payload, &pivot.payload, c);
+                }
+            }
+        }
+        Some(rows.into_iter().map(|r| r.payload).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{recombine, Encoder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_message(rng: &mut SmallRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn decodes_plain_symbols() {
+        let e = Encoder::new(vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        let mut d = Decoder::new(3, 2);
+        for i in 0..3 {
+            assert!(d.ingest(e.plain(i)));
+        }
+        assert_eq!(d.decode().unwrap(), e.blocks());
+    }
+
+    #[test]
+    fn decodes_random_combinations() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for k in [1usize, 2, 5, 16] {
+            let msg = random_message(&mut rng, k * 8);
+            let e = Encoder::from_message(&msg, k);
+            let mut d = Decoder::new(k, e.block_len());
+            let mut received = 0;
+            while !d.is_complete() {
+                d.ingest(e.encode(&mut rng));
+                received += 1;
+                assert!(received < 10 * k + 20, "k={k}: too many symbols");
+            }
+            let blocks = d.decode().unwrap();
+            assert_eq!(&blocks, e.blocks());
+            // RLNC over GF(256): almost every symbol is innovative.
+            assert!(received <= k + 3, "k={k}: {received} symbols for rank {k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_symbols_are_not_innovative() {
+        let e = Encoder::new(vec![vec![1], vec![2]]);
+        let mut d = Decoder::new(2, 1);
+        let s = e.plain(0);
+        assert!(d.ingest(s.clone()));
+        assert!(!d.ingest(s));
+        assert_eq!(d.rank(), 1);
+        assert!(d.decode().is_none());
+    }
+
+    #[test]
+    fn relayed_recombinations_decode() {
+        // Source → relay → sink, with the relay only re-encoding what it
+        // has: the end-to-end path of the mongering protocol.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let k = 6;
+        let msg = random_message(&mut rng, k * 16);
+        let e = Encoder::from_message(&msg, k);
+        let mut relay = Decoder::new(k, e.block_len());
+        let mut sink = Decoder::new(k, e.block_len());
+        let mut steps = 0;
+        while !sink.is_complete() {
+            relay.ingest(e.encode(&mut rng));
+            if let Some(s) = recombine(&relay.basis(), &mut rng) {
+                sink.ingest(s);
+            }
+            steps += 1;
+            assert!(steps < 100, "relay chain failed to converge");
+        }
+        assert_eq!(&sink.decode().unwrap(), e.blocks());
+    }
+
+    #[test]
+    fn rank_is_monotone_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let e = Encoder::from_message(&random_message(&mut rng, 64), 8);
+        let mut d = Decoder::new(8, e.block_len());
+        let mut prev = 0;
+        for _ in 0..50 {
+            d.ingest(e.encode(&mut rng));
+            assert!(d.rank() >= prev);
+            assert!(d.rank() <= 8);
+            prev = d.rank();
+        }
+        assert!(d.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut d = Decoder::new(2, 4);
+        let _ = d.ingest(Symbol::zero(2, 3));
+    }
+}

@@ -1,0 +1,169 @@
+//! Random linear (re-)encoding.
+//!
+//! The source encodes over its `k` original blocks; intermediate nodes
+//! *re-encode* over whatever subspace they have received so far — the key
+//! property of RLNC [HeS+03] that makes every transmitted symbol
+//! innovative w.h.p. without any coordination.
+
+use crate::gf256;
+use crate::symbol::Symbol;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The message source: owns the `k` original blocks.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    blocks: Vec<Vec<u8>>,
+    block_len: usize,
+}
+
+impl Encoder {
+    /// Wrap `k` equally sized source blocks.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty or block sizes differ.
+    pub fn new(blocks: Vec<Vec<u8>>) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        let block_len = blocks[0].len();
+        assert!(
+            blocks.iter().all(|b| b.len() == block_len),
+            "blocks must be equally sized"
+        );
+        Self { blocks, block_len }
+    }
+
+    /// Split `data` into `k` zero-padded blocks.
+    pub fn from_message(data: &[u8], k: usize) -> Self {
+        assert!(k > 0, "need at least one block");
+        let block_len = data.len().div_ceil(k).max(1);
+        let blocks = (0..k)
+            .map(|i| {
+                let start = (i * block_len).min(data.len());
+                let end = ((i + 1) * block_len).min(data.len());
+                let mut b = data[start..end].to_vec();
+                b.resize(block_len, 0);
+                b
+            })
+            .collect();
+        Self { blocks, block_len }
+    }
+
+    /// Number of source blocks.
+    pub fn k(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block size in bytes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// The original blocks.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Emit a fresh random linear combination of all source blocks.
+    pub fn encode(&self, rng: &mut SmallRng) -> Symbol {
+        let k = self.k();
+        let mut coeffs = vec![0u8; k];
+        // Reject the all-zero vector (probability 256^-k).
+        loop {
+            for c in coeffs.iter_mut() {
+                *c = rng.gen();
+            }
+            if coeffs.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        let mut payload = vec![0u8; self.block_len];
+        for (i, block) in self.blocks.iter().enumerate() {
+            gf256::mul_add_assign(&mut payload, block, coeffs[i]);
+        }
+        Symbol { coeffs, payload }
+    }
+
+    /// Emit source block `i` uncoded (for the uncoded baseline).
+    pub fn plain(&self, i: usize) -> Symbol {
+        Symbol::unit(self.k(), i, &self.blocks[i])
+    }
+}
+
+/// Re-encode a random combination of already-received symbols (a node's
+/// current basis). Returns `None` if `basis` is empty.
+pub fn recombine(basis: &[Symbol], rng: &mut SmallRng) -> Option<Symbol> {
+    let first = basis.first()?;
+    let k = first.k();
+    let block_len = first.payload.len();
+    let mut out = Symbol::zero(k, block_len);
+    // Random coefficients over the basis; retry while the result is the
+    // zero vector (only possible with tiny probability, or rank traps).
+    for _ in 0..16 {
+        for row in basis {
+            let c: u8 = rng.gen();
+            gf256::mul_add_assign(&mut out.coeffs, &row.coeffs, c);
+            gf256::mul_add_assign(&mut out.payload, &row.payload, c);
+        }
+        if !out.is_zero() {
+            return Some(out);
+        }
+    }
+    // Degenerate basis (all zero symbols).
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn from_message_pads_and_splits() {
+        let e = Encoder::from_message(&[1, 2, 3, 4, 5], 2);
+        assert_eq!(e.k(), 2);
+        assert_eq!(e.block_len(), 3);
+        assert_eq!(e.blocks()[0], vec![1, 2, 3]);
+        assert_eq!(e.blocks()[1], vec![4, 5, 0]);
+    }
+
+    #[test]
+    fn encode_is_consistent_with_coefficients() {
+        let e = Encoder::new(vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        let mut r = rng();
+        let s = e.encode(&mut r);
+        // Recompute the combination from the emitted coefficients.
+        let mut expect = vec![0u8; 2];
+        for (i, b) in e.blocks().iter().enumerate() {
+            gf256::mul_add_assign(&mut expect, b, s.coeffs[i]);
+        }
+        assert_eq!(s.payload, expect);
+        assert!(!s.is_zero());
+    }
+
+    #[test]
+    fn plain_symbols_are_units() {
+        let e = Encoder::new(vec![vec![7], vec![8]]);
+        assert_eq!(e.plain(1).coeffs, vec![0, 1]);
+        assert_eq!(e.plain(1).payload, vec![8]);
+    }
+
+    #[test]
+    fn recombine_spans_basis() {
+        let e = Encoder::new(vec![vec![1, 0], vec![0, 1]]);
+        let basis = vec![e.plain(0), e.plain(1)];
+        let mut r = rng();
+        let s = recombine(&basis, &mut r).unwrap();
+        // payload must equal coeffs applied to unit blocks.
+        assert_eq!(s.payload, s.coeffs);
+    }
+
+    #[test]
+    fn recombine_empty_is_none() {
+        let mut r = rng();
+        assert!(recombine(&[], &mut r).is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! GF(2⁸) arithmetic over the AES polynomial `x⁸+x⁴+x³+x+1` (0x11B).
+//!
+//! Addition is XOR; multiplication uses log/exp tables built at compile
+//! time from the generator 0x03. All operations are branch-light and
+//! allocation-free — the mongering experiments push millions of
+//! multiply-accumulates through [`mul`] and [`Decoder`](crate::Decoder).
+
+/// Carry-less "Russian peasant" multiply with 0x11B reduction; used only
+/// to build the tables at compile time.
+const fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut acc: u8 = 0;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+const fn build_tables() -> ([u8; 256], [u8; 512]) {
+    let mut log = [0u8; 256];
+    let mut exp = [0u8; 512];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        log[x as usize] = i as u8;
+        x = mul_slow(x, 3);
+        i += 1;
+    }
+    // Duplicate so exp[log a + log b] needs no modular reduction.
+    let mut j = 255;
+    while j < 510 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (log, exp)
+}
+
+const TABLES: ([u8; 256], [u8; 512]) = build_tables();
+const LOG: [u8; 256] = TABLES.0;
+const EXP: [u8; 512] = TABLES.1;
+
+/// Field addition (= subtraction): XOR.
+#[inline(always)]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+/// Panics on `inv(0)`.
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+/// Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// `dst[i] ^= c · src[i]` — the decoder's row operation, fused.
+#[inline]
+pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        if s != 0 {
+            *d ^= EXP[lc + LOG[s as usize] as usize];
+        }
+    }
+}
+
+/// `row[i] *= c` — in-place row scaling.
+#[inline]
+pub fn scale_assign(row: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    for v in row.iter_mut() {
+        *v = mul(*v, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_products() {
+        // Classic AES-field check values.
+        assert_eq!(mul(0x53, 0xCA), 0x01);
+        assert_eq!(mul(2, 128), 0x1B);
+        assert_eq!(mul(0, 77), 0);
+        assert_eq!(mul(1, 77), 77);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv failed for {a}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 0..=255u8 {
+            for b in [1u8, 2, 3, 0x53, 0xFF] {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_consistency() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn mul_add_assign_matches_scalar_ops() {
+        let src = [1u8, 0, 3, 77, 255, 128];
+        for c in [0u8, 1, 2, 0x53] {
+            let mut dst = [9u8, 8, 7, 6, 5, 4];
+            let mut expect = dst;
+            for (e, &s) in expect.iter_mut().zip(src.iter()) {
+                *e = add(*e, mul(c, s));
+            }
+            mul_add_assign(&mut dst, &src, c);
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn scale_assign_matches_mul() {
+        let mut row = [0u8, 1, 2, 77, 255];
+        let orig = row;
+        scale_assign(&mut row, 0x1D);
+        for (r, o) in row.iter().zip(orig.iter()) {
+            assert_eq!(*r, mul(*o, 0x1D));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # rendez-coding — randomized network coding for rumor mongering
+//!
+//! §5 of the dating-service paper sketches its first extension: rumor
+//! *mongering*, i.e. broadcasting a large message split into parts and
+//! pipelined through the network, where "the most challenging problem
+//! consists in organizing the communications, so as to ensure that each
+//! part of the message is received exactly once. To achieve this goal,
+//! randomized network coding techniques [HeS+03] have proven their
+//! efficiency [DMC06]."
+//!
+//! We build that machinery from scratch:
+//!
+//! * [`gf256`] — the field GF(2⁸) with log/exp table arithmetic;
+//! * [`symbol`] — coded symbols: a coefficient vector over GF(256) plus a
+//!   payload that is the corresponding linear combination of the source
+//!   blocks;
+//! * [`encoder`] — random linear (re-)encoding from any known subspace;
+//! * [`decoder`] — incremental Gaussian elimination with rank tracking and
+//!   full decoding at rank `k`;
+//! * [`mongering`] — the dating-service mongering protocol: every date
+//!   carries one re-encoded symbol; compared against the uncoded
+//!   random-block baseline, whose coupon-collector tail the coding
+//!   removes (that is the [DMC06] effect the paper cites).
+
+pub mod decoder;
+pub mod encoder;
+pub mod gf256;
+pub mod mongering;
+pub mod symbol;
+
+pub use decoder::Decoder;
+pub use encoder::Encoder;
+pub use mongering::{run_mongering, MongeringConfig, MongeringResult, TransferMode};
+pub use symbol::Symbol;

@@ -1,0 +1,85 @@
+//! Property-based tests for GF(256) and the RLNC codec.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_coding::gf256;
+use rendez_coding::{Decoder, Encoder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Field axioms: commutativity, associativity, distributivity.
+    #[test]
+    fn gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::add(a, b), gf256::add(b, a));
+        prop_assert_eq!(
+            gf256::mul(a, gf256::mul(b, c)),
+            gf256::mul(gf256::mul(a, b), c)
+        );
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Identities.
+        prop_assert_eq!(gf256::mul(a, 1), a);
+        prop_assert_eq!(gf256::add(a, 0), a);
+        prop_assert_eq!(gf256::add(a, a), 0); // characteristic 2
+    }
+
+    /// Inverses: a·a⁻¹ = 1 and division is the inverse of multiplication.
+    #[test]
+    fn gf256_inverses(a in 1u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+    }
+
+    /// Any message round-trips through encode → ingest → decode.
+    #[test]
+    fn rlnc_round_trip(
+        msg in prop::collection::vec(any::<u8>(), 1..200),
+        k in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let enc = Encoder::from_message(&msg, k);
+        let mut dec = Decoder::new(k, enc.block_len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut received = 0;
+        while !dec.is_complete() {
+            dec.ingest(enc.encode(&mut rng));
+            received += 1;
+            prop_assert!(received < 20 * k + 50, "decoder starved");
+        }
+        let blocks = dec.decode().expect("complete");
+        prop_assert_eq!(&blocks, enc.blocks());
+        // The decoded concatenation starts with the original message.
+        let flat: Vec<u8> = blocks.into_iter().flatten().collect();
+        prop_assert_eq!(&flat[..msg.len()], &msg[..]);
+        // Zero-padding only beyond the message.
+        prop_assert!(flat[msg.len()..].iter().all(|&x| x == 0));
+    }
+
+    /// Rank never decreases and never exceeds k; duplicates are never
+    /// innovative.
+    #[test]
+    fn rank_monotone(k in 1usize..10, seed in 0u64..10_000) {
+        let msg: Vec<u8> = (0..k * 4).map(|i| i as u8).collect();
+        let enc = Encoder::from_message(&msg, k);
+        let mut dec = Decoder::new(k, enc.block_len());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prev = 0;
+        for _ in 0..3 * k {
+            let sym = enc.encode(&mut rng);
+            let innovative_first = dec.ingest(sym.clone());
+            let innovative_again = dec.ingest(sym);
+            prop_assert!(!innovative_again, "identical symbol counted twice");
+            prop_assert!(dec.rank() >= prev);
+            prop_assert!(dec.rank() <= k);
+            if !innovative_first {
+                prop_assert_eq!(dec.rank(), prev);
+            }
+            prev = dec.rank();
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Node capabilities and heterogeneous platforms.
+//!
+//! The paper's model (§1): node `i` receives at most `bin(i)` and sends at
+//! most `bout(i)` unit-size messages per round. Across nodes the ratios
+//! `max bin / min bin` and `max bout / min bout` are unbounded, but each
+//! individual node is balanced up to a constant `C`:
+//!
+//! ```text
+//! ∀i:  1/C ≤ bin(i)/bout(i) ≤ C
+//! ```
+//!
+//! [`Platform`] is the immutable description of one such network; all
+//! builders here produce platforms used by the paper's experiments
+//! (homogeneous unit bandwidth for Figures 1–2) and by the heterogeneous
+//! Theorem 10 / Corollary 11 experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rendez_sim::NodeId;
+
+/// Per-node bandwidth capabilities, in unit messages per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCaps {
+    /// Incoming bandwidth `bin(i)` — messages receivable per round.
+    pub bw_in: u32,
+    /// Outgoing bandwidth `bout(i)` — messages sendable per round.
+    pub bw_out: u32,
+}
+
+impl NodeCaps {
+    /// Symmetric capabilities `bin = bout = b`.
+    pub fn symmetric(b: u32) -> Self {
+        Self { bw_in: b, bw_out: b }
+    }
+
+    /// The node's in/out imbalance `max(bin/bout, bout/bin)`.
+    pub fn imbalance(&self) -> f64 {
+        let i = self.bw_in as f64;
+        let o = self.bw_out as f64;
+        (i / o).max(o / i)
+    }
+}
+
+/// An immutable heterogeneous platform: the capabilities of all `n` nodes
+/// plus cached totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Platform {
+    caps: Vec<NodeCaps>,
+    total_in: u64,
+    total_out: u64,
+}
+
+impl Platform {
+    /// Build a platform from explicit capabilities.
+    ///
+    /// # Panics
+    /// Panics if `caps` is empty or any node has zero incoming or outgoing
+    /// bandwidth (the paper's C-bound forces both positive).
+    pub fn new(caps: Vec<NodeCaps>) -> Self {
+        assert!(!caps.is_empty(), "platform needs at least one node");
+        let mut total_in = 0u64;
+        let mut total_out = 0u64;
+        for (i, c) in caps.iter().enumerate() {
+            assert!(
+                c.bw_in >= 1 && c.bw_out >= 1,
+                "node {i} has zero bandwidth ({:?}); the C-bound requires both positive",
+                c
+            );
+            total_in += c.bw_in as u64;
+            total_out += c.bw_out as u64;
+        }
+        Self {
+            caps,
+            total_in,
+            total_out,
+        }
+    }
+
+    /// Homogeneous platform: every node has `bin = bout = b`.
+    pub fn homogeneous(n: usize, b: u32) -> Self {
+        Self::new(vec![NodeCaps::symmetric(b); n])
+    }
+
+    /// The paper's Figure 1 / Figure 2 workload: `bin = bout = 1`
+    /// everywhere, so `m = n`.
+    pub fn unit(n: usize) -> Self {
+        Self::homogeneous(n, 1)
+    }
+
+    /// Bimodal platform: a `fast_frac` fraction of nodes (at least one)
+    /// gets symmetric bandwidth `fast`, the rest `slow`.
+    ///
+    /// # Panics
+    /// Panics if `fast_frac ∉ [0,1]` or either bandwidth is zero.
+    pub fn bimodal(n: usize, fast_frac: f64, slow: u32, fast: u32) -> Self {
+        assert!((0.0..=1.0).contains(&fast_frac), "fast_frac in [0,1]");
+        let fast_count = ((n as f64 * fast_frac).round() as usize).clamp(1, n);
+        let caps = (0..n)
+            .map(|i| {
+                if i < fast_count {
+                    NodeCaps::symmetric(fast)
+                } else {
+                    NodeCaps::symmetric(slow)
+                }
+            })
+            .collect();
+        Self::new(caps)
+    }
+
+    /// Heterogeneous platform with symmetric per-node bandwidths drawn from
+    /// a power law with exponent `s`, rescaled so the *average* bandwidth
+    /// is `avg` (hence `m = n·avg`), with a floor of 1. Bandwidth ranks
+    /// are assigned to node ids in a random (seeded) order so node id does
+    /// not correlate with capacity.
+    ///
+    /// This is the platform family used for the Theorem 10 experiments
+    /// (`m = Ω(n log n)` with weak nodes still present).
+    pub fn power_law(n: usize, s: f64, avg: f64, seed: u64) -> Self {
+        assert!(avg >= 1.0, "average bandwidth must be ≥ 1, got {avg}");
+        let zipf = rendez_stats::Zipf::new(n, s);
+        let weights = zipf.weights();
+        let target_total = avg * n as f64;
+        // First pass: proportional shares with a floor of 1.
+        let mut bws: Vec<u32> = weights
+            .iter()
+            .map(|w| (w * target_total).round().max(1.0) as u32)
+            .collect();
+        // Fix the total up/down to hit n·avg exactly (within rounding) by
+        // adjusting the largest entries, keeping every node ≥ 1.
+        let mut total: i64 = bws.iter().map(|&b| b as i64).sum();
+        let want = target_total.round() as i64;
+        let mut k = 0usize;
+        while total != want && k < 10 * n {
+            let idx = k % n;
+            if total < want {
+                bws[idx] += 1;
+                total += 1;
+            } else if bws[idx] > 1 {
+                bws[idx] -= 1;
+                total -= 1;
+            }
+            k += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Random assignment of capacities to ids (Fisher-Yates).
+        for i in (1..bws.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            bws.swap(i, j);
+        }
+        Self::new(bws.into_iter().map(NodeCaps::symmetric).collect())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capabilities of node `v`.
+    #[inline]
+    pub fn caps(&self, v: NodeId) -> NodeCaps {
+        self.caps[v.index()]
+    }
+
+    /// `bin(v)`.
+    #[inline]
+    pub fn bw_in(&self, v: NodeId) -> u32 {
+        self.caps[v.index()].bw_in
+    }
+
+    /// `bout(v)`.
+    #[inline]
+    pub fn bw_out(&self, v: NodeId) -> u32 {
+        self.caps[v.index()].bw_out
+    }
+
+    /// Total incoming bandwidth `Bin = Σ bin(i)`.
+    pub fn total_in(&self) -> u64 {
+        self.total_in
+    }
+
+    /// Total outgoing bandwidth `Bout = Σ bout(i)`.
+    pub fn total_out(&self) -> u64 {
+        self.total_out
+    }
+
+    /// `m = min(Bin, Bout)` — the paper's capacity of a centralized
+    /// matchmaker, the yardstick every result is stated against.
+    pub fn m(&self) -> u64 {
+        self.total_in.min(self.total_out)
+    }
+
+    /// Average outgoing bandwidth `Bout / n`.
+    pub fn avg_out(&self) -> f64 {
+        self.total_out as f64 / self.n() as f64
+    }
+
+    /// The platform's actual per-node imbalance bound
+    /// `C = max_i max(bin/bout, bout/bin)`.
+    pub fn ratio_bound(&self) -> f64 {
+        self.caps
+            .iter()
+            .map(NodeCaps::imbalance)
+            .fold(1.0, f64::max)
+    }
+
+    /// Check the paper's assumption `1/C ≤ bin(i)/bout(i) ≤ C` for all i.
+    pub fn respects_ratio(&self, c: f64) -> bool {
+        self.ratio_bound() <= c + 1e-12
+    }
+
+    /// Iterate `(node, caps)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeCaps)> + '_ {
+        self.caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId::from_index(i), c))
+    }
+
+    /// Ids of nodes with outgoing bandwidth at least `threshold` — the
+    /// "average nodes" of Theorem 10 when `threshold = m/n`.
+    pub fn nodes_with_out_at_least(&self, threshold: u32) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, c)| c.bw_out >= threshold)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_m() {
+        let p = Platform::new(vec![
+            NodeCaps { bw_in: 2, bw_out: 3 },
+            NodeCaps { bw_in: 1, bw_out: 1 },
+            NodeCaps { bw_in: 4, bw_out: 2 },
+        ]);
+        assert_eq!(p.total_in(), 7);
+        assert_eq!(p.total_out(), 6);
+        assert_eq!(p.m(), 6);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.bw_in(NodeId(2)), 4);
+        assert_eq!(p.bw_out(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn unit_platform_matches_paper_workload() {
+        let p = Platform::unit(100);
+        assert_eq!(p.m(), 100);
+        assert_eq!(p.total_in(), p.total_out());
+        assert_eq!(p.ratio_bound(), 1.0);
+    }
+
+    #[test]
+    fn ratio_bound_detects_imbalance() {
+        let p = Platform::new(vec![
+            NodeCaps { bw_in: 6, bw_out: 2 },
+            NodeCaps { bw_in: 1, bw_out: 1 },
+        ]);
+        assert!((p.ratio_bound() - 3.0).abs() < 1e-12);
+        assert!(p.respects_ratio(3.0));
+        assert!(!p.respects_ratio(2.9));
+    }
+
+    #[test]
+    fn bimodal_counts() {
+        let p = Platform::bimodal(10, 0.3, 1, 8);
+        let fast = p.iter().filter(|(_, c)| c.bw_out == 8).count();
+        assert_eq!(fast, 3);
+        assert_eq!(p.total_out(), 3 * 8 + 7);
+    }
+
+    #[test]
+    fn power_law_hits_average_and_floor() {
+        let n = 500;
+        let avg = 8.0;
+        let p = Platform::power_law(n, 1.2, avg, 42);
+        assert_eq!(p.n(), n);
+        let measured_avg = p.avg_out();
+        assert!(
+            (measured_avg - avg).abs() < 0.5,
+            "avg {measured_avg} vs target {avg}"
+        );
+        assert!(p.iter().all(|(_, c)| c.bw_out >= 1));
+        // Heterogeneous: at least one node is much larger than the floor.
+        assert!(p.iter().any(|(_, c)| c.bw_out as f64 > 4.0 * avg));
+        // Symmetric per node → ratio bound 1, respecting any C ≥ 1.
+        assert_eq!(p.ratio_bound(), 1.0);
+    }
+
+    #[test]
+    fn power_law_shuffles_ranks() {
+        let p = Platform::power_law(100, 1.0, 4.0, 7);
+        // If unshuffled, node 0 would be the largest. With shuffling, the
+        // probability of that is 1%; seed 7 must not hit it (determinism).
+        let max_bw = p.iter().map(|(_, c)| c.bw_out).max().unwrap();
+        assert_ne!(p.bw_out(NodeId(0)), max_bw);
+    }
+
+    #[test]
+    fn nodes_with_out_at_least_filters() {
+        let p = Platform::bimodal(10, 0.2, 1, 5);
+        let strong = p.nodes_with_out_at_least(5);
+        assert_eq!(strong.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = Platform::new(vec![NodeCaps { bw_in: 0, bw_out: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_platform_rejected() {
+        let _ = Platform::new(vec![]);
+    }
+}

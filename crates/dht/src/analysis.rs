@@ -1,0 +1,114 @@
+//! Arc-length statistics of random rings.
+//!
+//! §4's parenthetical — "some nodes have intervals of lengths O(1/n²),
+//! some have Ω(log n/n)" — is the classic spacings result for `n` uniform
+//! points on a circle: the largest gap concentrates around `ln n / n` and
+//! the smallest around `1/n²`. These statistics explain *why* DHT-based
+//! dating arranges **more** dates than uniform (Figure 1): skewed weights
+//! increase `Σ E[min(Po(w·m), Po(w·m))]`.
+
+use crate::ring::Ring;
+
+/// Summary of a ring's ownership-arc distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct ArcStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Smallest arc fraction.
+    pub min: f64,
+    /// Largest arc fraction.
+    pub max: f64,
+    /// Mean arc fraction (= 1/n by construction).
+    pub mean: f64,
+    /// Ratio of the largest arc to the mean (theory: ≈ ln n).
+    pub max_over_mean: f64,
+    /// Ratio of the smallest arc to the mean (theory: ≈ 1/n).
+    pub min_over_mean: f64,
+}
+
+impl ArcStats {
+    /// Compute the statistics of a ring.
+    pub fn of(ring: &Ring) -> Self {
+        let fracs: Vec<f64> = ring.arc_fractions().iter().map(|&(_, f)| f).collect();
+        let n = fracs.len();
+        let min = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fracs.iter().cloned().fold(0.0, f64::max);
+        let mean = 1.0 / n as f64;
+        Self {
+            n,
+            min,
+            max,
+            mean,
+            max_over_mean: max / mean,
+            min_over_mean: min / mean,
+        }
+    }
+}
+
+/// Expected largest arc fraction for `n` uniform points: `≈ H_n / n ≈ ln n / n`.
+pub fn expected_max_arc(n: usize) -> f64 {
+    let h_n: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    h_n / n as f64
+}
+
+/// Expected smallest arc fraction for `n` uniform points: `1/n²`.
+pub fn expected_min_arc(n: usize) -> f64 {
+    1.0 / (n as f64 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_partition_the_ring() {
+        let ring = Ring::random(1000, 1);
+        let s = ArcStats::of(&ring);
+        assert_eq!(s.n, 1000);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!((s.mean - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_arc_near_ln_n_over_n() {
+        // Average the max arc over several rings; should track H_n/n.
+        let n = 2000;
+        let mut acc = 0.0;
+        let rings = 30;
+        for seed in 0..rings {
+            acc += ArcStats::of(&Ring::random(n, seed)).max;
+        }
+        let measured = acc / rings as f64;
+        let predicted = expected_max_arc(n);
+        assert!(
+            (measured - predicted).abs() < 0.35 * predicted,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn min_arc_near_inverse_n_squared() {
+        let n = 1000;
+        let mut acc = 0.0;
+        let rings = 30;
+        for seed in 100..100 + rings {
+            acc += ArcStats::of(&Ring::random(n, seed)).min;
+        }
+        let measured = acc / rings as f64;
+        let predicted = expected_min_arc(n);
+        // The min spacing is exponentially distributed with mean 1/n²;
+        // averaging 30 rings still leaves wide variance — check the order
+        // of magnitude.
+        assert!(
+            measured < 10.0 * predicted && measured > predicted / 10.0,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn skew_grows_with_n() {
+        let small = ArcStats::of(&Ring::random(50, 7)).max_over_mean;
+        let large = ArcStats::of(&Ring::random(50_000, 7)).max_over_mean;
+        assert!(large > small, "max/mean should grow like ln n");
+    }
+}

@@ -1,0 +1,164 @@
+//! The continuous–discrete distance-halving network (Naor & Wieder).
+//!
+//! The paper cites Naor & Wieder's continuous–discrete approach ([NW03b])
+//! alongside Chord as a DHT the dating service can ride on. The network's
+//! *continuous* graph connects every point `x ∈ [0,1)` to `ℓ(x) = x/2` and
+//! `r(x) = (x+1)/2`; the *discrete* graph connects node arcs that touch
+//! these images. Routing fixes one bit per hop: prepending the target's
+//! bits (most-significant last) halves the distance each step, reaching
+//! the target's arc in `log₂ n + O(1)` hops w.h.p.
+//!
+//! We implement the routing walk directly on the [`Ring`]: each hop moves
+//! the current *point* `y ↦ y/2 + b·2⁶³` and hands the walk to the owner
+//! of the new point. After `k ≈ log₂ n + c` prepended bits the point
+//! agrees with the target key on its top `k` bits, and a short successor
+//! walk finishes the job.
+
+use crate::ring::Ring;
+use rendez_sim::NodeId;
+
+/// Routing over the continuous–discrete network.
+#[derive(Debug, Clone)]
+pub struct NaorWiederNet {
+    ring: Ring,
+    /// Bits prepended during the halving phase (≈ log₂ n + slack).
+    halving_bits: u32,
+}
+
+impl NaorWiederNet {
+    /// Build over a ring, with `slack` extra halving bits beyond
+    /// `⌈log₂ n⌉` (2–3 suffices in practice).
+    pub fn new(ring: Ring, slack: u32) -> Self {
+        let n = ring.n().max(2);
+        let halving_bits = ((n as f64).log2().ceil() as u32 + slack).min(64);
+        Self { ring, halving_bits }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Bits used in the halving phase.
+    pub fn halving_bits(&self) -> u32 {
+        self.halving_bits
+    }
+
+    /// Route from `from` to the owner of `key`.
+    ///
+    /// Returns `(owner, hops)`. Hops count both halving steps and the
+    /// final successor walk.
+    pub fn route(&self, from: NodeId, key: u64) -> (NodeId, u32) {
+        let owner = self.ring.owner(key);
+        let mut cur = from;
+        let mut y = self.ring.position(from);
+        let mut hops = 0u32;
+        let k = self.halving_bits;
+        // Halving phase: prepend the window bits of `key`, lowest of the
+        // window first, so after k steps the top k bits of y equal key's.
+        for t in 1..=k {
+            if cur == owner {
+                return (owner, hops);
+            }
+            let bit = (key >> (64 - k + t - 1)) & 1;
+            y = (y >> 1) | (bit << 63);
+            let next = self.ring.owner(y);
+            if next != cur {
+                cur = next;
+                hops += 1;
+            }
+        }
+        // Finish phase: y now agrees with key on its top k bits, so the
+        // owner of y is at most a few arcs away from the owner of key.
+        // Walk around the ring in the direction of the shorter cyclic
+        // distance; from behind the key a successor step never overshoots
+        // (overshooting would mean cur already owned the key), and from
+        // ahead a predecessor step lands exactly on the owner.
+        let guard = self.ring.n() as u32 + 2;
+        let mut walked = 0u32;
+        while cur != owner {
+            let p = self.ring.position(cur);
+            let d_fwd = Ring::cw_distance(p, key);
+            let d_bwd = Ring::cw_distance(key, p);
+            cur = if d_fwd <= d_bwd {
+                self.ring.successor(cur)
+            } else {
+                self.ring.predecessor(cur)
+            };
+            hops += 1;
+            walked += 1;
+            assert!(walked <= guard, "finish walk exceeded ring size");
+        }
+        (owner, hops)
+    }
+
+    /// Mean and max hops over `samples` seeded random lookups.
+    pub fn lookup_hops(&self, samples: usize, seed: u64) -> (f64, u32) {
+        use rendez_sim::rng::SplitMix64;
+        let mut h = SplitMix64::new(seed);
+        let ids = self.ring.ids_in_ring_order();
+        let mut total = 0u64;
+        let mut max = 0u32;
+        for _ in 0..samples {
+            let src = ids[(h.next_u64() % ids.len() as u64) as usize];
+            let key = h.next_u64();
+            let (_, hops) = self.route(src, key);
+            total += hops as u64;
+            max = max.max(hops);
+        }
+        (total as f64 / samples as f64, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendez_sim::rng::SplitMix64;
+
+    #[test]
+    fn routing_reaches_owner() {
+        let net = NaorWiederNet::new(Ring::random(128, 1), 3);
+        let mut h = SplitMix64::new(2);
+        for _ in 0..300 {
+            let key = h.next_u64();
+            let src = NodeId((h.next_u64() % 128) as u32);
+            let (owner, _) = net.route(src, key);
+            assert_eq!(owner, net.ring().owner(key));
+        }
+    }
+
+    #[test]
+    fn hops_are_logarithmic() {
+        for n in [100usize, 1000, 5000] {
+            let net = NaorWiederNet::new(Ring::random(n, 3), 3);
+            let (mean, max) = net.lookup_hops(300, 4);
+            let log2n = (n as f64).log2();
+            assert!(
+                mean <= log2n + 6.0,
+                "n={n}: mean {mean} vs log2 n {log2n}"
+            );
+            assert!(
+                (max as f64) <= 2.5 * log2n + 16.0,
+                "n={n}: max {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let net = NaorWiederNet::new(Ring::random(64, 5), 2);
+        for &id in net.ring().ids_in_ring_order() {
+            let key = net.ring().position(id);
+            let (owner, hops) = net.route(id, key);
+            assert_eq!(owner, id);
+            assert_eq!(hops, 0);
+        }
+    }
+
+    #[test]
+    fn halving_bits_track_ring_size() {
+        let small = NaorWiederNet::new(Ring::random(16, 6), 2);
+        let large = NaorWiederNet::new(Ring::random(4096, 6), 2);
+        assert!(large.halving_bits() > small.halving_bits());
+    }
+}

@@ -1,0 +1,329 @@
+//! The keyspace ring: random placement and paper-style arc ownership.
+//!
+//! The paper's (0,1] ring is realized as the full `u64` keyspace (a point
+//! `x ∈ (0,1]` corresponds to key `⌊x·2⁶⁴⌋`). Node positions are hashes of
+//! the node id under a ring seed, i.e. uniform i.i.d. points — the same
+//! placement §4 assumes. Node ownership follows the paper exactly: the
+//! node at position `p` owns the arc `[p, succ(p))`, so the owner of a key
+//! `x` is the node at the greatest position `≤ x` (cyclically).
+
+use rendez_sim::rng::SplitMix64;
+use rendez_sim::NodeId;
+
+/// A ring of `n` nodes at distinct `u64` positions.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted positions.
+    positions: Vec<u64>,
+    /// `ids[i]` is the node sitting at `positions[i]`.
+    ids: Vec<NodeId>,
+    /// Position of each node, indexed by node id.
+    pos_of: Vec<u64>,
+}
+
+impl Ring {
+    /// Place nodes `0..n` at i.i.d. uniform positions derived from `seed`.
+    ///
+    /// Collisions (probability ~`n²/2⁶⁴`) are resolved by probing upward,
+    /// preserving distinctness without biasing the arc distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "ring needs at least one node");
+        let mut placed: Vec<(u64, NodeId)> = (0..n)
+            .map(|i| {
+                let h = SplitMix64::mix(seed ^ SplitMix64::mix(i as u64 + 1));
+                (h, NodeId::from_index(i))
+            })
+            .collect();
+        placed.sort_unstable();
+        // Resolve any duplicate positions by nudging upward.
+        for i in 1..placed.len() {
+            if placed[i].0 <= placed[i - 1].0 {
+                placed[i].0 = placed[i - 1].0.wrapping_add(1);
+            }
+        }
+        Self::from_placed(placed)
+    }
+
+    /// Build a ring from explicit `(position, id)` pairs (positions must
+    /// be distinct).
+    ///
+    /// # Panics
+    /// Panics on empty input or duplicate positions.
+    pub fn from_positions(pairs: Vec<(u64, NodeId)>) -> Self {
+        assert!(!pairs.is_empty(), "ring needs at least one node");
+        let mut placed = pairs;
+        placed.sort_unstable();
+        for w in placed.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate ring position {}", w[0].0);
+        }
+        Self::from_placed(placed)
+    }
+
+    fn from_placed(placed: Vec<(u64, NodeId)>) -> Self {
+        let positions: Vec<u64> = placed.iter().map(|&(p, _)| p).collect();
+        let ids: Vec<NodeId> = placed.iter().map(|&(_, id)| id).collect();
+        let max_id = ids.iter().map(|id| id.index()).max().expect("non-empty");
+        let mut pos_of = vec![0u64; max_id + 1];
+        for &(p, id) in &placed {
+            pos_of[id.index()] = p;
+        }
+        Self {
+            positions,
+            ids,
+            pos_of,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of node `v`.
+    pub fn position(&self, v: NodeId) -> u64 {
+        self.pos_of[v.index()]
+    }
+
+    /// The owner of key `x`: the node at the greatest position `≤ x`,
+    /// wrapping to the highest-positioned node below the first position.
+    pub fn owner(&self, x: u64) -> NodeId {
+        let idx = self.positions.partition_point(|&p| p <= x);
+        if idx == 0 {
+            // x precedes every position: owned by the last node (wrap).
+            self.ids[self.n() - 1]
+        } else {
+            self.ids[idx - 1]
+        }
+    }
+
+    /// The node clockwise-next after `v`.
+    pub fn successor(&self, v: NodeId) -> NodeId {
+        let idx = self.sorted_index(v);
+        self.ids[(idx + 1) % self.n()]
+    }
+
+    /// The node clockwise-previous before `v`.
+    pub fn predecessor(&self, v: NodeId) -> NodeId {
+        let idx = self.sorted_index(v);
+        self.ids[(idx + self.n() - 1) % self.n()]
+    }
+
+    /// First node at or after key `x` (Chord's `successor(x)`), wrapping.
+    pub fn successor_of_key(&self, x: u64) -> NodeId {
+        let idx = self.positions.partition_point(|&p| p < x);
+        self.ids[idx % self.n()]
+    }
+
+    /// Length of the arc owned by `v` (its position to its successor's).
+    pub fn arc_length(&self, v: NodeId) -> u64 {
+        let idx = self.sorted_index(v);
+        let here = self.positions[idx];
+        let next = self.positions[(idx + 1) % self.n()];
+        next.wrapping_sub(here)
+    }
+
+    /// Arc length of `v` as a fraction of the whole ring.
+    pub fn arc_fraction(&self, v: NodeId) -> f64 {
+        // Single-node ring owns everything (arc length wraps to 0).
+        if self.n() == 1 {
+            return 1.0;
+        }
+        self.arc_length(v) as f64 / 2f64.powi(64)
+    }
+
+    /// All `(node, arc_fraction)` pairs.
+    pub fn arc_fractions(&self) -> Vec<(NodeId, f64)> {
+        self.ids
+            .iter()
+            .map(|&id| (id, self.arc_fraction(id)))
+            .collect()
+    }
+
+    /// Node ids in ring (position) order.
+    pub fn ids_in_ring_order(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Clockwise distance from `a` to `b` on the key ring.
+    pub fn cw_distance(a: u64, b: u64) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    fn sorted_index(&self, v: NodeId) -> usize {
+        let p = self.pos_of[v.index()];
+        let idx = self.positions.partition_point(|&q| q < p);
+        debug_assert_eq!(self.positions[idx], p);
+        idx
+    }
+
+    /// Insert a node at `position`, returning a new ring.
+    ///
+    /// # Panics
+    /// Panics if the position is taken or the id already present.
+    pub fn with_node(&self, id: NodeId, position: u64) -> Ring {
+        assert!(
+            !self.positions.contains(&position),
+            "position {position} occupied"
+        );
+        assert!(
+            !self.ids.contains(&id),
+            "node {id} already on the ring"
+        );
+        let mut pairs: Vec<(u64, NodeId)> = self
+            .positions
+            .iter()
+            .copied()
+            .zip(self.ids.iter().copied())
+            .collect();
+        pairs.push((position, id));
+        Ring::from_positions(pairs)
+    }
+
+    /// Remove a node, returning a new ring.
+    ///
+    /// # Panics
+    /// Panics if the node is absent or is the last node.
+    pub fn without_node(&self, id: NodeId) -> Ring {
+        assert!(self.n() > 1, "cannot empty the ring");
+        let pairs: Vec<(u64, NodeId)> = self
+            .positions
+            .iter()
+            .copied()
+            .zip(self.ids.iter().copied())
+            .filter(|&(_, v)| v != id)
+            .collect();
+        assert_eq!(pairs.len(), self.n() - 1, "node {id} not on the ring");
+        Ring::from_positions(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ring() -> Ring {
+        // Positions 10, 20, 30 for nodes 0, 1, 2.
+        Ring::from_positions(vec![
+            (10, NodeId(0)),
+            (20, NodeId(1)),
+            (30, NodeId(2)),
+        ])
+    }
+
+    #[test]
+    fn ownership_is_predecessor_style() {
+        let r = tiny_ring();
+        assert_eq!(r.owner(10), NodeId(0));
+        assert_eq!(r.owner(15), NodeId(0));
+        assert_eq!(r.owner(20), NodeId(1));
+        assert_eq!(r.owner(29), NodeId(1));
+        assert_eq!(r.owner(30), NodeId(2));
+        assert_eq!(r.owner(u64::MAX), NodeId(2));
+        // Keys before the first position wrap to the last node.
+        assert_eq!(r.owner(5), NodeId(2));
+        assert_eq!(r.owner(0), NodeId(2));
+    }
+
+    #[test]
+    fn successor_predecessor_cycle() {
+        let r = tiny_ring();
+        assert_eq!(r.successor(NodeId(0)), NodeId(1));
+        assert_eq!(r.successor(NodeId(2)), NodeId(0));
+        assert_eq!(r.predecessor(NodeId(0)), NodeId(2));
+        assert_eq!(r.predecessor(NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    fn successor_of_key() {
+        let r = tiny_ring();
+        assert_eq!(r.successor_of_key(10), NodeId(0));
+        assert_eq!(r.successor_of_key(11), NodeId(1));
+        assert_eq!(r.successor_of_key(31), NodeId(0)); // wraps
+    }
+
+    #[test]
+    fn arc_lengths_cover_the_ring() {
+        let r = tiny_ring();
+        assert_eq!(r.arc_length(NodeId(0)), 10);
+        assert_eq!(r.arc_length(NodeId(1)), 10);
+        // Node 2 wraps: 2^64 - 30 + 10.
+        assert_eq!(r.arc_length(NodeId(2)), 10u64.wrapping_sub(30));
+        let total: u64 = (0..3)
+            .map(|i| r.arc_length(NodeId(i)))
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        assert_eq!(total, 0, "arc lengths must wrap to exactly 2^64");
+    }
+
+    #[test]
+    fn random_ring_fractions_sum_to_one() {
+        let r = Ring::random(500, 42);
+        let total: f64 = r.arc_fractions().iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert_eq!(r.n(), 500);
+    }
+
+    #[test]
+    fn random_ring_owner_matches_linear_scan() {
+        let r = Ring::random(64, 7);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let x = rng.next_u64();
+            let fast = r.owner(x);
+            // Linear scan reference: greatest position ≤ x, wrap to max.
+            let mut best: Option<(u64, NodeId)> = None;
+            let mut max: Option<(u64, NodeId)> = None;
+            for &id in r.ids_in_ring_order() {
+                let p = r.position(id);
+                if p <= x && best.map_or(true, |(bp, _)| p > bp) {
+                    best = Some((p, id));
+                }
+                if max.map_or(true, |(mp, _)| p > mp) {
+                    max = Some((p, id));
+                }
+            }
+            let expect = best.or(max).unwrap().1;
+            assert_eq!(fast, expect, "key {x}");
+        }
+    }
+
+    #[test]
+    fn random_ring_deterministic_in_seed() {
+        let a = Ring::random(100, 5);
+        let b = Ring::random(100, 5);
+        for i in 0..100 {
+            assert_eq!(a.position(NodeId(i)), b.position(NodeId(i)));
+        }
+        let c = Ring::random(100, 6);
+        let same = (0..100).all(|i| a.position(NodeId(i)) == c.position(NodeId(i)));
+        assert!(!same);
+    }
+
+    #[test]
+    fn join_and_leave_round_trip() {
+        let r = tiny_ring();
+        let bigger = r.with_node(NodeId(9), 25);
+        assert_eq!(bigger.n(), 4);
+        assert_eq!(bigger.owner(26), NodeId(9));
+        assert_eq!(bigger.arc_length(NodeId(1)), 5);
+        let back = bigger.without_node(NodeId(9));
+        assert_eq!(back.n(), 3);
+        assert_eq!(back.owner(26), NodeId(1));
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let r = Ring::from_positions(vec![(99, NodeId(0))]);
+        assert_eq!(r.owner(0), NodeId(0));
+        assert_eq!(r.owner(u64::MAX), NodeId(0));
+        assert_eq!(r.arc_fraction(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ring position")]
+    fn duplicate_positions_rejected() {
+        let _ = Ring::from_positions(vec![(5, NodeId(0)), (5, NodeId(1))]);
+    }
+}

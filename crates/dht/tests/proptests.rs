@@ -1,0 +1,77 @@
+//! Property-based tests for the DHT substrate.
+
+use proptest::prelude::*;
+use rendez_dht::{ChordNet, DhtSelector, NaorWiederNet, Ring};
+use rendez_sim::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ownership partitions the keyspace: arcs sum to exactly 2⁶⁴ (i.e.
+    /// wrap to 0 in u64 arithmetic) and every key's owner's position is
+    /// the cyclic predecessor-or-equal.
+    #[test]
+    fn ownership_partitions_keyspace(n in 2usize..200, seed in 0u64..1_000, keys in prop::collection::vec(any::<u64>(), 10)) {
+        let ring = Ring::random(n, seed);
+        let total: u64 = (0..n)
+            .map(|i| ring.arc_length(NodeId(i as u32)))
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        prop_assert_eq!(total, 0u64);
+        for key in keys {
+            let owner = ring.owner(key);
+            let p = ring.position(owner);
+            let succ_p = ring.position(ring.successor(owner));
+            // key lies in [p, succ_p) cyclically.
+            let arc = succ_p.wrapping_sub(p);
+            let off = key.wrapping_sub(p);
+            prop_assert!(off < arc || n == 1, "key {} not in owner's arc", key);
+        }
+    }
+
+    /// Chord routing reaches the owner from any source, within the
+    /// O(log n) hop guard.
+    #[test]
+    fn chord_routes_correctly(n in 2usize..150, seed in 0u64..500, key in any::<u64>(), src_pick in any::<u32>()) {
+        let ring = Ring::random(n, seed);
+        let chord = ChordNet::build(ring);
+        let src = NodeId(src_pick % n as u32);
+        let r = chord.route(src, key);
+        prop_assert_eq!(r.owner, chord.ring().owner(key));
+        prop_assert!((r.hops as f64) <= 3.0 * (n as f64).log2() + 8.0,
+            "{} hops at n={}", r.hops, n);
+    }
+
+    /// Naor–Wieder routing agrees with ring ownership.
+    #[test]
+    fn naor_wieder_routes_correctly(n in 2usize..150, seed in 0u64..500, key in any::<u64>(), src_pick in any::<u32>()) {
+        let ring = Ring::random(n, seed);
+        let nw = NaorWiederNet::new(ring, 3);
+        let src = NodeId(src_pick % n as u32);
+        let (owner, _) = nw.route(src, key);
+        prop_assert_eq!(owner, nw.ring().owner(key));
+    }
+
+    /// The DHT selector's weights are the exact arc fractions: a
+    /// probability vector with every entry positive.
+    #[test]
+    fn selector_weights_are_probabilities(n in 2usize..300, seed in 0u64..1_000) {
+        let sel = DhtSelector::random(n, seed);
+        let w = rendez_core::NodeSelector::weights(&sel);
+        prop_assert_eq!(w.len(), n);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    /// Join then leave of the same node restores the ownership map.
+    #[test]
+    fn join_leave_round_trip(n in 2usize..100, seed in 0u64..500, pos in any::<u64>(), keys in prop::collection::vec(any::<u64>(), 8)) {
+        let ring = Ring::random(n, seed);
+        prop_assume!((0..n).all(|i| ring.position(NodeId(i as u32)) != pos));
+        let grown = ring.with_node(NodeId(n as u32), pos);
+        let back = grown.without_node(NodeId(n as u32));
+        for key in keys {
+            prop_assert_eq!(ring.owner(key), back.owner(key));
+        }
+    }
+}

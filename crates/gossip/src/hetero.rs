@@ -1,0 +1,174 @@
+//! Heterogeneous spreading: Theorem 10 and Corollary 11.
+//!
+//! When the platform is rich (`m = Ω(n log n)`) the dating service beats
+//! the uniform-gossip `Θ(log n)` barrier for well-provisioned nodes:
+//! starting from a source with bandwidth `Ω(m/n)`, every node with
+//! bandwidth `Ω(m/n)` is informed within `O(log n / log(m/n))` rounds
+//! w.h.p. (Theorem 10); from a weak source the same holds in expectation
+//! after an `O(1)`-round warm-up (Corollary 11). This is the paper's
+//! "hierarchical content distribution" enabler.
+
+use crate::protocols::DatingSpread;
+use crate::spread::{run_spread_until, SpreadResult};
+use rand::rngs::SmallRng;
+use rendez_core::{NodeSelector, Platform};
+use rendez_sim::NodeId;
+
+/// Outcome of one heterogeneous spreading trial.
+#[derive(Debug, Clone)]
+pub struct HeteroOutcome {
+    /// Rounds until every node with `bout ≥ m/n` was informed.
+    pub rounds_avg_nodes: u64,
+    /// Whether the average-node goal was reached within the cap.
+    pub avg_completed: bool,
+    /// Rounds until *all* nodes were informed (cap if not reached).
+    pub rounds_all: u64,
+    /// Whether full completion was reached within the cap.
+    pub all_completed: bool,
+    /// The platform's `m/n`.
+    pub m_over_n: f64,
+}
+
+/// The strongest node of a platform (Theorem 10's source).
+pub fn strongest_node(platform: &Platform) -> NodeId {
+    platform
+        .iter()
+        .max_by_key(|&(_, c)| c.bw_out)
+        .map(|(v, _)| v)
+        .expect("platform non-empty")
+}
+
+/// A weakest node of a platform (Corollary 11's source).
+pub fn weakest_node(platform: &Platform) -> NodeId {
+    platform
+        .iter()
+        .min_by_key(|&(_, c)| c.bw_out)
+        .map(|(v, _)| v)
+        .expect("platform non-empty")
+}
+
+/// Run dating-service spreading from `source` and report when the
+/// "average nodes" (those with `bout ≥ m/n`) and all nodes are informed.
+pub fn run_hetero_trial<S: NodeSelector + ?Sized>(
+    platform: &Platform,
+    selector: &S,
+    source: NodeId,
+    rng: &mut SmallRng,
+    max_rounds: u64,
+) -> HeteroOutcome {
+    let m_over_n = platform.m() as f64 / platform.n() as f64;
+    let threshold = m_over_n.ceil() as u32;
+    let avg_nodes = platform.nodes_with_out_at_least(threshold);
+    assert!(
+        !avg_nodes.is_empty(),
+        "no node reaches the average bandwidth"
+    );
+
+    let mut proto = DatingSpread::new(selector);
+    let mut rounds_avg: Option<u64> = None;
+    let result: SpreadResult =
+        run_spread_until(&mut proto, platform, source, rng, max_rounds, |st| {
+            if rounds_avg.is_none()
+                && avg_nodes.iter().all(|&v| st.informed.contains(v))
+            {
+                rounds_avg = Some(st.round);
+            }
+            st.complete()
+        });
+
+    HeteroOutcome {
+        rounds_avg_nodes: rounds_avg.unwrap_or(max_rounds),
+        avg_completed: rounds_avg.is_some(),
+        rounds_all: result.rounds,
+        all_completed: result.completed,
+        m_over_n,
+    }
+}
+
+/// Theorem 10's bound shape: `log n / log(m/n)` (rounds, up to constants).
+/// Returns `+∞` when `m/n ≤ 1` (the theorem needs `m = Ω(n log n)`).
+pub fn theorem10_prediction(n: usize, m_over_n: f64) -> f64 {
+    if m_over_n <= 1.0 {
+        return f64::INFINITY;
+    }
+    (n as f64).ln() / m_over_n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::UniformSelector;
+
+    /// A platform with m/n ≈ avg and a guaranteed weak node.
+    fn rich_platform(n: usize, avg: f64, seed: u64) -> Platform {
+        Platform::power_law(n, 1.1, avg, seed)
+    }
+
+    #[test]
+    fn strongest_and_weakest() {
+        let p = Platform::bimodal(10, 0.2, 1, 9);
+        assert_eq!(p.bw_out(strongest_node(&p)), 9);
+        assert_eq!(p.bw_out(weakest_node(&p)), 1);
+    }
+
+    #[test]
+    fn average_nodes_finish_before_everyone() {
+        let n = 2000;
+        let avg = (n as f64).ln(); // m = n ln n
+        let p = rich_platform(n, avg, 1);
+        let sel = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = run_hetero_trial(&p, &sel, strongest_node(&p), &mut rng, 10_000);
+        assert!(out.avg_completed && out.all_completed);
+        assert!(
+            out.rounds_avg_nodes <= out.rounds_all,
+            "avg nodes ({}) cannot finish after everyone ({})",
+            out.rounds_avg_nodes,
+            out.rounds_all
+        );
+    }
+
+    #[test]
+    fn rich_platform_beats_log_n_for_average_nodes() {
+        // With m/n = √n the bound is log n / log √n = 2 rounds (+consts);
+        // compare against ~log2 n for the unit platform.
+        let n = 4096;
+        let avg = (n as f64).sqrt();
+        let p = rich_platform(n, avg, 3);
+        let sel = UniformSelector::new(n);
+        let mut total = 0u64;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let out = run_hetero_trial(&p, &sel, strongest_node(&p), &mut rng, 10_000);
+            assert!(out.avg_completed);
+            total += out.rounds_avg_nodes;
+        }
+        let mean = total as f64 / trials as f64;
+        let log2n = (n as f64).log2();
+        assert!(
+            mean < log2n,
+            "avg-node completion {mean} should beat log2 n = {log2n}"
+        );
+    }
+
+    #[test]
+    fn prediction_shape() {
+        assert!(theorem10_prediction(1000, 1.0).is_infinite());
+        let a = theorem10_prediction(100_000, (100_000f64).ln());
+        let b = theorem10_prediction(100_000, (100_000f64).sqrt());
+        assert!(a > b, "larger m/n must predict fewer rounds");
+        assert!((b - 2.0).abs() < 1e-9, "√n average ⇒ exactly 2: {b}");
+    }
+
+    #[test]
+    fn weak_source_still_completes() {
+        let n = 1000;
+        let p = rich_platform(n, (n as f64).ln(), 5);
+        let sel = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = run_hetero_trial(&p, &sel, weakest_node(&p), &mut rng, 10_000);
+        assert!(out.all_completed, "Corollary 11: weak start still finishes");
+    }
+}

@@ -1,0 +1,140 @@
+//! The informed set: a bitset plus the paper's potential function `I_t`.
+//!
+//! Theorem 4's analysis tracks `I_t`, "the total outgoing bandwidths of
+//! informed nodes" at round `t`. [`InformedSet`] maintains the member
+//! bitset, an insertion-ordered list (which gives every protocol an O(1)
+//! round-start snapshot: the first `k` entries), and the running `I_t`.
+
+use rendez_core::Platform;
+use rendez_sim::NodeId;
+
+/// Set of informed nodes with incremental informed-bandwidth tracking.
+#[derive(Debug, Clone)]
+pub struct InformedSet {
+    words: Vec<u64>,
+    /// Members in the order they were informed.
+    order: Vec<u32>,
+    /// Σ bout(v) over members — the paper's `I_t`.
+    informed_out_bw: u64,
+}
+
+impl InformedSet {
+    /// Empty set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+            order: Vec::new(),
+            informed_out_bw: 0,
+        }
+    }
+
+    /// Whether `v` is informed.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inform `v`; returns true if newly informed. `platform` feeds the
+    /// `I_t` accounting.
+    #[inline]
+    pub fn inform(&mut self, v: NodeId, platform: &Platform) -> bool {
+        let i = v.index();
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            return false;
+        }
+        *w |= bit;
+        self.order.push(v.0);
+        self.informed_out_bw += platform.bw_out(v) as u64;
+        true
+    }
+
+    /// Number of informed nodes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The paper's `I_t`: total outgoing bandwidth of informed nodes.
+    #[inline]
+    pub fn informed_out_bw(&self) -> u64 {
+        self.informed_out_bw
+    }
+
+    /// Members in insertion order. `members()[..k]` is an exact snapshot
+    /// of the set when it had `k` members — protocols use this for
+    /// round-start semantics.
+    #[inline]
+    pub fn members(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// True when all `n` nodes are informed.
+    pub fn is_complete(&self, n: usize) -> bool {
+        self.count() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inform_is_idempotent() {
+        let p = Platform::unit(10);
+        let mut s = InformedSet::new(10);
+        assert!(s.inform(NodeId(3), &p));
+        assert!(!s.inform(NodeId(3), &p));
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn tracks_informed_bandwidth() {
+        let p = Platform::bimodal(10, 0.2, 1, 7);
+        let mut s = InformedSet::new(10);
+        s.inform(NodeId(0), &p); // fast node: bout 7
+        assert_eq!(s.informed_out_bw(), 7);
+        s.inform(NodeId(9), &p); // slow node: bout 1
+        assert_eq!(s.informed_out_bw(), 8);
+        s.inform(NodeId(0), &p); // duplicate: unchanged
+        assert_eq!(s.informed_out_bw(), 8);
+    }
+
+    #[test]
+    fn members_preserve_insertion_order() {
+        let p = Platform::unit(100);
+        let mut s = InformedSet::new(100);
+        for v in [5u32, 99, 0, 42] {
+            s.inform(NodeId(v), &p);
+        }
+        assert_eq!(s.members(), &[5, 99, 0, 42]);
+    }
+
+    #[test]
+    fn completeness() {
+        let p = Platform::unit(3);
+        let mut s = InformedSet::new(3);
+        for v in 0..3 {
+            assert!(!s.is_complete(3));
+            s.inform(NodeId(v), &p);
+        }
+        assert!(s.is_complete(3));
+    }
+
+    #[test]
+    fn bitset_handles_word_boundaries() {
+        let p = Platform::unit(130);
+        let mut s = InformedSet::new(130);
+        for v in [63u32, 64, 127, 128, 129] {
+            assert!(s.inform(NodeId(v), &p));
+            assert!(s.contains(NodeId(v)));
+        }
+        assert_eq!(s.count(), 5);
+        assert!(!s.contains(NodeId(62)));
+        assert!(!s.contains(NodeId(65)));
+    }
+}

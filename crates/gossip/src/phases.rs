@@ -1,0 +1,110 @@
+//! Theorem 4's three-phase decomposition, measured from `I_t`.
+//!
+//! The proof splits the spreading process by the informed outgoing
+//! bandwidth `I_t`:
+//!
+//! 1. **Phase 1** — from `I_0 ≥ 1` until `I_t = Ω(max(m/n, log n))`:
+//!    a single source link succeeds `Θ(log n)` times;
+//! 2. **Phase 2** — until `I_t ≥ m/2`: multiplicative growth, lasting
+//!    `O(log n / log(1 + m/n))` rounds;
+//! 3. **Phase 3** — until every node is informed: each uninformed node's
+//!    incoming link succeeds within `O(log n)` rounds.
+//!
+//! [`phase_breakdown`] recovers the three durations from a measured
+//! `I_t` history so experiments can compare them against the bounds.
+
+/// Rounds spent in each Theorem 4 phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Rounds until `I_t ≥ max(m/n, ln n)`.
+    pub phase1: u64,
+    /// Further rounds until `I_t ≥ m/2`.
+    pub phase2: u64,
+    /// Remaining rounds until the run ended.
+    pub phase3: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total rounds.
+    pub fn total(&self) -> u64 {
+        self.phase1 + self.phase2 + self.phase3
+    }
+}
+
+/// Decompose an `I_t` history (entry `t` = value after `t` rounds) into
+/// the Theorem 4 phases for a platform with total bandwidth `m` and `n`
+/// nodes. Phases that never complete are charged all remaining rounds.
+pub fn phase_breakdown(it_history: &[u64], m: u64, n: usize) -> PhaseBreakdown {
+    assert!(!it_history.is_empty(), "history must include the initial state");
+    let rounds = (it_history.len() - 1) as u64;
+    let thr1 = ((m as f64 / n as f64).max((n as f64).ln())).ceil() as u64;
+    let thr2 = m / 2;
+    let end1 = it_history
+        .iter()
+        .position(|&it| it >= thr1)
+        .map(|t| t as u64)
+        .unwrap_or(rounds);
+    let end2 = it_history
+        .iter()
+        .position(|&it| it >= thr2)
+        .map(|t| t as u64)
+        .unwrap_or(rounds)
+        .max(end1);
+    PhaseBreakdown {
+        phase1: end1,
+        phase2: end2 - end1,
+        phase3: rounds - end2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_three_phase_history() {
+        // n=100, m=100: thr1 = max(1, ln 100 ≈ 4.6) → 5; thr2 = 50.
+        let it = [1u64, 2, 4, 8, 16, 32, 64, 90, 100];
+        let b = phase_breakdown(&it, 100, 100);
+        assert_eq!(b.phase1, 3); // I_3 = 8 ≥ 5
+        assert_eq!(b.phase2, 3); // I_6 = 64 ≥ 50
+        assert_eq!(b.phase3, 2);
+        assert_eq!(b.total(), 8);
+    }
+
+    #[test]
+    fn incomplete_run_charges_tail() {
+        let it = [1u64, 1, 2, 2];
+        let b = phase_breakdown(&it, 1000, 100);
+        // Neither threshold reached: all 3 rounds in phase 1.
+        assert_eq!(b.phase1, 3);
+        assert_eq!(b.phase2, 0);
+        assert_eq!(b.phase3, 0);
+    }
+
+    #[test]
+    fn instant_completion() {
+        // Source already holds m/2 of the bandwidth.
+        let it = [60u64, 100];
+        let b = phase_breakdown(&it, 100, 10);
+        assert_eq!(b.phase1, 0);
+        assert_eq!(b.phase2, 0);
+        assert_eq!(b.phase3, 1);
+    }
+
+    #[test]
+    fn measured_push_like_history_phases_are_logarithmic() {
+        // Synthetic doubling history for n = m = 2^20.
+        let n: u64 = 1 << 20;
+        let mut it = vec![1u64];
+        while *it.last().unwrap() < n {
+            it.push((it.last().unwrap() * 2).min(n));
+        }
+        let b = phase_breakdown(&it, n, n as usize);
+        // Doubling: phase1 ends at I_t ≥ ln(2^20) ≈ 14 → ~4 rounds.
+        assert!(b.phase1 <= 5);
+        // Phase 2: from ~16 to 2^19 → ~15 rounds.
+        assert!((10..=16).contains(&b.phase2), "{:?}", b);
+        assert_eq!(b.total(), it.len() as u64 - 1);
+    }
+}

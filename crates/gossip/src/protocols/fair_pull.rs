@@ -1,0 +1,151 @@
+//! Fair PULL: an informed node answers only one request per round.
+//!
+//! §4's definition: "fair PULL — in which a node satisfies only one
+//! request when it is asked for information". This is the
+//! bandwidth-honest PULL: an informed node with unit outgoing bandwidth
+//! transmits the rumor at most once per round, so the comparison with the
+//! dating service (which *always* respects bandwidth) is apples to apples.
+
+use super::{InformBuffer, SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_sim::NodeId;
+
+/// The fair PULL baseline.
+#[derive(Debug)]
+pub struct FairPull {
+    pub(crate) buf: InformBuffer,
+    /// Requesters grouped by informed target (reused across rounds).
+    requesters_at: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+}
+
+impl FairPull {
+    /// New fair PULL for an `n`-node platform.
+    pub fn new(n: usize) -> Self {
+        Self {
+            buf: InformBuffer::default(),
+            requesters_at: vec![Vec::new(); n],
+            touched: Vec::new(),
+        }
+    }
+
+    pub(crate) fn pull_phase(&mut self, st: &SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let n = st.n() as u32;
+        for &t in &self.touched {
+            self.requesters_at[t as usize].clear();
+        }
+        self.touched.clear();
+        for v in 0..n {
+            if st.informed.contains(NodeId(v)) {
+                continue;
+            }
+            let target = rng.gen_range(0..n);
+            if st.informed.contains(NodeId(target)) {
+                if self.requesters_at[target as usize].is_empty() {
+                    self.touched.push(target);
+                }
+                self.requesters_at[target as usize].push(v);
+            }
+        }
+        // Each informed target answers exactly one uniformly chosen
+        // requester.
+        let mut answered = 0u64;
+        for &t in &self.touched {
+            let reqs = &self.requesters_at[t as usize];
+            let winner = reqs[rng.gen_range(0..reqs.len())];
+            self.buf.push(winner);
+            answered += 1;
+        }
+        answered
+    }
+}
+
+impl SpreadProtocol for FairPull {
+    fn name(&self) -> &str {
+        "fair-pull"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let answered = self.pull_phase(st, rng);
+        self.buf.apply(st);
+        answered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::Platform;
+
+    #[test]
+    fn at_most_doubles_like_push() {
+        // Fairness caps growth: ≤ one answer per informed node per round.
+        let platform = Platform::unit(4096);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = FairPull::new(4096);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut prev = 1;
+        for _ in 0..30 {
+            p.step(&mut st, &mut rng);
+            assert!(
+                st.informed.count() <= 2 * prev,
+                "fair pull must not more than double"
+            );
+            prev = st.informed.count();
+            if st.complete() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn slower_than_unfair_pull() {
+        let n = 2048;
+        let platform = Platform::unit(n);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 15;
+        let (mut fair_total, mut unfair_total) = (0u64, 0u64);
+        for _ in 0..trials {
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = FairPull::new(n);
+            let mut r = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                r += 1;
+                assert!(r < 1000);
+            }
+            fair_total += r;
+
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = super::super::Pull::new();
+            let mut r = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                r += 1;
+            }
+            unfair_total += r;
+        }
+        assert!(
+            fair_total >= unfair_total,
+            "fair pull ({fair_total}) cannot beat unfair pull ({unfair_total})"
+        );
+    }
+
+    #[test]
+    fn answers_bounded_by_informed_count() {
+        let platform = Platform::unit(100);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = FairPull::new(100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let k = st.informed.count() as u64;
+            let answered = p.step(&mut st, &mut rng);
+            assert!(answered <= k, "answers {answered} exceed informed {k}");
+            if st.complete() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Fair PUSH&PULL: PUSH plus the one-answer-per-round fair PULL.
+//!
+//! §4's "fair PUSH and PULL" (the table legend's "PUSH and fair PULL").
+//! The paper singles this baseline out as the fair yardstick for the
+//! dating service — both respect per-node bandwidth — and reports the
+//! dating service "is less than 2 times slower" than it.
+
+use super::fair_pull::FairPull;
+use super::{SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The PUSH + fair PULL baseline.
+#[derive(Debug)]
+pub struct FairPushPull {
+    fair_pull: FairPull,
+}
+
+impl FairPushPull {
+    /// New fair PUSH&PULL for an `n`-node platform.
+    pub fn new(n: usize) -> Self {
+        Self {
+            fair_pull: FairPull::new(n),
+        }
+    }
+}
+
+impl SpreadProtocol for FairPushPull {
+    fn name(&self) -> &str {
+        "push-fair-pull"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let n = st.n() as u32;
+        let k = st.informed.count();
+        // PUSH half.
+        for _ in 0..k {
+            let target = rng.gen_range(0..n);
+            self.fair_pull.buf.push(target);
+        }
+        // Fair PULL half (reads round-start state; informs are buffered).
+        let answered = self.fair_pull.pull_phase(st, rng);
+        self.fair_pull.buf.apply(st);
+        k as u64 + answered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::Platform;
+    use rendez_sim::NodeId;
+
+    #[test]
+    fn completes_and_is_bounded_by_parts() {
+        let n = 2048;
+        let platform = Platform::unit(n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trials = 15;
+        let (mut fpp, mut push_only, mut fp_only) = (0u64, 0u64, 0u64);
+        for _ in 0..trials {
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = FairPushPull::new(n);
+            let mut r = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                r += 1;
+                assert!(r < 1000);
+            }
+            fpp += r;
+
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = super::super::Push::new();
+            let mut r = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                r += 1;
+            }
+            push_only += r;
+
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = FairPull::new(n);
+            let mut r = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                r += 1;
+            }
+            fp_only += r;
+        }
+        assert!(fpp < push_only, "combo ({fpp}) must beat push ({push_only})");
+        assert!(fpp < fp_only, "combo ({fpp}) must beat fair pull ({fp_only})");
+    }
+
+    #[test]
+    fn message_count_combines_both_halves() {
+        let n = 128;
+        let platform = Platform::unit(n);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = FairPushPull::new(n);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let k = st.informed.count() as u64;
+        let msgs = p.step(&mut st, &mut rng);
+        // One push from the source, plus at most one fair-pull answer.
+        assert!(msgs >= k && msgs <= k + 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Loss-injected dating spread: fault tolerance of the oblivious design.
+//!
+//! Because nodes never adapt their offers/requests to protocol state
+//! (§1), a lost payload costs exactly one date and nothing else — no
+//! retransmission state, no stalled handshake. This wrapper drops each
+//! rumor-carrying date independently with probability `loss`, modelling
+//! link faults on top of any inner spreading protocol's dates.
+
+use super::{InformBuffer, SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_core::{DatingService, NodeSelector, RoundWorkspace};
+
+/// Dating-service spreading with i.i.d. per-date payload loss.
+pub struct LossyDating<'a, S: NodeSelector + ?Sized> {
+    selector: &'a S,
+    loss: f64,
+    ws: RoundWorkspace,
+    buf: InformBuffer,
+    /// Dates whose payload was dropped so far.
+    pub dropped: u64,
+}
+
+impl<'a, S: NodeSelector + ?Sized> LossyDating<'a, S> {
+    /// Spread over dates arranged with `selector`, losing each
+    /// informative payload with probability `loss`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ loss < 1`.
+    pub fn new(selector: &'a S, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
+        Self {
+            selector,
+            loss,
+            ws: RoundWorkspace::default(),
+            buf: InformBuffer::default(),
+            dropped: 0,
+        }
+    }
+}
+
+impl<'a, S: NodeSelector + ?Sized> SpreadProtocol for LossyDating<'a, S> {
+    fn name(&self) -> &str {
+        "dating-lossy"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let svc = DatingService::new(st.platform, self.selector);
+        let out = svc.run_round_with(&mut self.ws, rng);
+        let mut delivered = 0u64;
+        for d in &out.dates {
+            if !st.informed.contains(d.sender) {
+                continue;
+            }
+            if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+                self.dropped += 1;
+                continue;
+            }
+            self.buf.push(d.receiver.0);
+            delivered += 1;
+        }
+        self.buf.apply(st);
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::run_spread;
+    use rand::SeedableRng;
+    use rendez_core::{Platform, UniformSelector};
+    use rendez_sim::NodeId;
+
+    fn rounds_at_loss(n: usize, loss: f64, trials: u64) -> f64 {
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let mut total = 0u64;
+        for t in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(1000 + t);
+            let mut p = LossyDating::new(&selector, loss);
+            let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 100_000);
+            assert!(r.completed, "loss={loss} trial {t} never completed");
+            total += r.rounds;
+        }
+        total as f64 / trials as f64
+    }
+
+    #[test]
+    fn zero_loss_matches_plain_dating() {
+        let n = 400;
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let mut rng1 = SmallRng::seed_from_u64(7);
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        let mut lossy = LossyDating::new(&selector, 0.0);
+        let mut plain = super::super::DatingSpread::new(&selector);
+        let a = run_spread(&mut lossy, &platform, NodeId(0), &mut rng1, 100_000);
+        let b = run_spread(&mut plain, &platform, NodeId(0), &mut rng2, 100_000);
+        assert_eq!(a.rounds, b.rounds, "loss=0 must be behaviourally identical");
+        assert_eq!(lossy.dropped, 0);
+    }
+
+    #[test]
+    fn spreading_survives_heavy_loss() {
+        // Even at 50% payload loss the process completes — it just needs
+        // more rounds (each link's per-round success probability halves).
+        let clean = rounds_at_loss(512, 0.0, 10);
+        let lossy = rounds_at_loss(512, 0.5, 10);
+        assert!(lossy > clean, "loss should slow spreading");
+        assert!(
+            lossy < 4.0 * clean + 20.0,
+            "50% loss should roughly double rounds, not explode: {clean} → {lossy}"
+        );
+    }
+
+    #[test]
+    fn rounds_increase_monotonically_with_loss() {
+        let r0 = rounds_at_loss(256, 0.0, 15);
+        let r1 = rounds_at_loss(256, 0.3, 15);
+        let r2 = rounds_at_loss(256, 0.7, 15);
+        assert!(r0 < r1 + 2.0);
+        assert!(r1 < r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn certain_loss_rejected() {
+        let sel = UniformSelector::new(4);
+        let _ = LossyDating::new(&sel, 1.0);
+    }
+}

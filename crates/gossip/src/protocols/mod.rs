@@ -1,0 +1,170 @@
+//! The seven spreading protocols of Figure 2.
+//!
+//! All protocols share strict synchronous-round semantics: every decision
+//! in a round reads the informed set *as of round start*; new informs are
+//! buffered and applied at round end. (Each implementation collects into a
+//! scratch buffer and applies once, so no mid-round information leaks.)
+//!
+//! The returned per-round message count is the number of *rumor-carrying*
+//! unit messages: PUSH transmissions from informed nodes and PULL answers
+//! from informed nodes; for the dating service, dates whose sender is
+//! informed. Control traffic (requests, answers without the rumor) is
+//! accounted separately by `rendez_core::overhead`.
+
+mod dating;
+mod fair_pull;
+mod fair_push_pull;
+mod lossy;
+mod pull;
+mod push;
+mod push_pull;
+
+pub use dating::DatingSpread;
+pub use fair_pull::FairPull;
+pub use fair_push_pull::FairPushPull;
+pub use lossy::LossyDating;
+pub use pull::Pull;
+pub use push::Push;
+pub use push_pull::PushPull;
+
+use crate::informed::InformedSet;
+use rand::rngs::SmallRng;
+use rendez_core::Platform;
+use rendez_sim::NodeId;
+
+/// Shared per-run spreading state.
+pub struct SpreadState<'a> {
+    /// The platform (bandwidths matter only to the dating protocol; the
+    /// uniform-gossip baselines assume the paper's unit workload).
+    pub platform: &'a Platform,
+    /// The informed set, with the `I_t` potential.
+    pub informed: InformedSet,
+    /// Completed rounds.
+    pub round: u64,
+}
+
+impl<'a> SpreadState<'a> {
+    /// Fresh state with a single informed source.
+    pub fn new(platform: &'a Platform, source: NodeId) -> Self {
+        let mut informed = InformedSet::new(platform.n());
+        informed.inform(source, platform);
+        Self {
+            platform,
+            informed,
+            round: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.platform.n()
+    }
+
+    /// Inform `v` (with `I_t` bookkeeping); true if newly informed.
+    pub fn inform(&mut self, v: NodeId) -> bool {
+        self.informed.inform(v, self.platform)
+    }
+
+    /// True when everyone is informed.
+    pub fn complete(&self) -> bool {
+        self.informed.is_complete(self.n())
+    }
+}
+
+/// A synchronous-round spreading protocol.
+pub trait SpreadProtocol {
+    /// Name used in experiment tables (matches the paper's legend).
+    fn name(&self) -> &str;
+
+    /// Execute one round; returns rumor-carrying messages sent.
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64;
+}
+
+/// Buffer-and-apply helper shared by the implementations.
+#[derive(Debug, Default)]
+pub(crate) struct InformBuffer {
+    newly: Vec<u32>,
+}
+
+impl InformBuffer {
+    #[inline]
+    pub(crate) fn push(&mut self, v: u32) {
+        self.newly.push(v);
+    }
+
+    /// Apply all buffered informs and clear.
+    pub(crate) fn apply(&mut self, st: &mut SpreadState<'_>) {
+        for &v in &self.newly {
+            st.informed.inform(NodeId(v), st.platform);
+        }
+        self.newly.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// All seven protocols must (a) only grow the informed set, (b) start
+    /// from exactly the source, and (c) eventually inform everyone on a
+    /// small unit platform.
+    #[test]
+    fn all_protocols_spread_to_completion() {
+        let n = 64;
+        let platform = Platform::unit(n);
+        let selector = rendez_core::UniformSelector::new(n);
+        let mut protos: Vec<Box<dyn SpreadProtocol>> = vec![
+            Box::new(Push::new()),
+            Box::new(Pull::new()),
+            Box::new(PushPull::new()),
+            Box::new(FairPull::new(n)),
+            Box::new(FairPushPull::new(n)),
+            Box::new(DatingSpread::new(&selector)),
+        ];
+        for proto in protos.iter_mut() {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            assert_eq!(st.informed.count(), 1);
+            let mut prev = 1;
+            let mut rounds = 0;
+            while !st.complete() {
+                proto.step(&mut st, &mut rng);
+                st.round += 1;
+                rounds += 1;
+                assert!(
+                    st.informed.count() >= prev,
+                    "{}: informed set shrank",
+                    proto.name()
+                );
+                prev = st.informed.count();
+                assert!(rounds < 10_000, "{}: did not complete", proto.name());
+            }
+            // O(log n) protocols on n=64 should be well under 100 rounds.
+            assert!(rounds < 100, "{}: took {rounds} rounds", proto.name());
+        }
+    }
+
+    #[test]
+    fn state_initialization() {
+        let platform = Platform::bimodal(10, 0.1, 1, 5);
+        let st = SpreadState::new(&platform, NodeId(0));
+        assert_eq!(st.informed.count(), 1);
+        assert_eq!(st.informed.informed_out_bw(), 5); // node 0 is the fast one
+        assert!(!st.complete());
+    }
+
+    #[test]
+    fn inform_buffer_applies_once() {
+        let platform = Platform::unit(8);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut buf = InformBuffer::default();
+        buf.push(3);
+        buf.push(3);
+        buf.push(5);
+        buf.apply(&mut st);
+        assert_eq!(st.informed.count(), 3);
+        assert!(st.informed.contains(NodeId(3)));
+        assert!(st.informed.contains(NodeId(5)));
+    }
+}

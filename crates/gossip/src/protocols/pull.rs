@@ -1,0 +1,98 @@
+//! Simple PULL: every node asks a uniform node; informed targets answer.
+//!
+//! §1: "In PULL model it is the other way around" — the chooser receives
+//! the rumor if its target is informed. The *simple* (unfair) variant lets
+//! an informed node answer arbitrarily many requests in one round, which
+//! the paper points out "may benefit from much higher bandwidth".
+
+use super::{InformBuffer, SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_sim::NodeId;
+
+/// The unfair PULL baseline.
+#[derive(Debug, Default)]
+pub struct Pull {
+    buf: InformBuffer,
+}
+
+impl Pull {
+    /// New PULL protocol.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpreadProtocol for Pull {
+    fn name(&self) -> &str {
+        "pull"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let n = st.n() as u32;
+        let mut answered = 0u64;
+        for v in 0..n {
+            if st.informed.contains(NodeId(v)) {
+                continue; // informed nodes pull too, but gain nothing
+            }
+            let target = NodeId(rng.gen_range(0..n));
+            if st.informed.contains(target) {
+                self.buf.push(v);
+                answered += 1;
+            }
+        }
+        self.buf.apply(st);
+        answered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::Platform;
+
+    #[test]
+    fn slow_start_fast_finish() {
+        // With one informed node, each pull hits it w.p. 1/n — the classic
+        // PULL slow start. Late rounds finish quadratically fast.
+        let platform = Platform::unit(512);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = Pull::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rounds = 0u64;
+        while !st.complete() {
+            p.step(&mut st, &mut rng);
+            rounds += 1;
+            assert!(rounds < 500);
+        }
+        assert!(rounds > 5, "pull can't finish 512 nodes in {rounds} rounds");
+    }
+
+    #[test]
+    fn all_informed_no_messages() {
+        let platform = Platform::unit(10);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        for v in 0..10 {
+            st.inform(NodeId(v));
+        }
+        let mut p = Pull::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(p.step(&mut st, &mut rng), 0);
+    }
+
+    #[test]
+    fn round_start_semantics() {
+        // A node informed during a round must not answer pulls that round:
+        // with 2 nodes (source 0, uninformed 1), node 1 always becomes
+        // informed in round 1 — but never earlier than that (no chaining
+        // within a round is possible at n=2, this asserts the count).
+        let platform = Platform::unit(2);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = Pull::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let msgs = p.step(&mut st, &mut rng);
+        assert_eq!(msgs, 1, "the single uninformed node pulls the source");
+        assert!(st.complete());
+    }
+}

@@ -1,0 +1,98 @@
+//! Simple PUSH: every informed node sends the rumor to a uniform node.
+//!
+//! §1's description: "In each round each node chooses another node
+//! uniformly at random. In PUSH model the former sends an information to
+//! the latter [if it is informed]." Uninformed nodes' choices carry
+//! nothing, so only informed nodes' sends are simulated (and counted).
+
+use super::{InformBuffer, SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The PUSH baseline.
+#[derive(Debug, Default)]
+pub struct Push {
+    buf: InformBuffer,
+}
+
+impl Push {
+    /// New PUSH protocol.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpreadProtocol for Push {
+    fn name(&self) -> &str {
+        "push"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let k = st.informed.count();
+        let n = st.n() as u32;
+        for _ in 0..k {
+            let target = rng.gen_range(0..n);
+            self.buf.push(target);
+        }
+        self.buf.apply(st);
+        k as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::Platform;
+    use rendez_sim::NodeId;
+
+    #[test]
+    fn doubles_at_most_per_round() {
+        let platform = Platform::unit(1000);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = Push::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut prev = 1;
+        for _ in 0..20 {
+            p.step(&mut st, &mut rng);
+            assert!(st.informed.count() <= 2 * prev, "push cannot more than double");
+            prev = st.informed.count();
+        }
+    }
+
+    #[test]
+    fn message_count_equals_informed() {
+        let platform = Platform::unit(100);
+        let mut st = SpreadState::new(&platform, NodeId(0));
+        let mut p = Push::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m1 = p.step(&mut st, &mut rng);
+        assert_eq!(m1, 1);
+        let k = st.informed.count() as u64;
+        let m2 = p.step(&mut st, &mut rng);
+        assert_eq!(m2, k);
+    }
+
+    #[test]
+    fn completes_in_logarithmic_time() {
+        // PUSH completes in ~log2 n + ln n + O(1) rounds (Frieze–Grimmett);
+        // for n = 1024 that is ≈ 17, allow generous slack.
+        let platform = Platform::unit(1024);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rounds_sum = 0u64;
+        for trial in 0..20 {
+            let _ = trial;
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut p = Push::new();
+            let mut rounds = 0u64;
+            while !st.complete() {
+                p.step(&mut st, &mut rng);
+                rounds += 1;
+                assert!(rounds < 200);
+            }
+            rounds_sum += rounds;
+        }
+        let mean = rounds_sum as f64 / 20.0;
+        assert!((12.0..30.0).contains(&mean), "push mean rounds {mean}");
+    }
+}

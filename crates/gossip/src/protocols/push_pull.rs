@@ -1,0 +1,108 @@
+//! Simple PUSH&PULL: both mechanisms in every round.
+//!
+//! §1: "In case of PUSH and PULL scheme, the nodes exchange information."
+//! The paper notes this baseline "benefit[s] from double communication in
+//! each round — one for PUSH and one for PULL", which is why Figure 2's
+//! fair comparison for the dating service is against PUSH + fair PULL.
+
+use super::{InformBuffer, SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_sim::NodeId;
+
+/// The PUSH&PULL baseline.
+#[derive(Debug, Default)]
+pub struct PushPull {
+    buf: InformBuffer,
+}
+
+impl PushPull {
+    /// New PUSH&PULL protocol.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpreadProtocol for PushPull {
+    fn name(&self) -> &str {
+        "push-pull"
+    }
+
+    fn step(&mut self, st: &mut SpreadState<'_>, rng: &mut SmallRng) -> u64 {
+        let n = st.n() as u32;
+        let k = st.informed.count();
+        // PUSH half: every informed node transmits.
+        for _ in 0..k {
+            let target = rng.gen_range(0..n);
+            self.buf.push(target);
+        }
+        let mut msgs = k as u64;
+        // PULL half: every uninformed node asks (round-start state).
+        for v in 0..n {
+            if st.informed.contains(NodeId(v)) {
+                continue;
+            }
+            let target = NodeId(rng.gen_range(0..n));
+            if st.informed.contains(target) {
+                self.buf.push(v);
+                msgs += 1;
+            }
+        }
+        self.buf.apply(st);
+        msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::Platform;
+
+    #[test]
+    fn faster_than_push_alone() {
+        let n = 2048;
+        let platform = Platform::unit(n);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 15;
+        let mut pp_total = 0u64;
+        let mut p_total = 0u64;
+        for _ in 0..trials {
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut proto = PushPull::new();
+            let mut r = 0u64;
+            while !st.complete() {
+                proto.step(&mut st, &mut rng);
+                r += 1;
+            }
+            pp_total += r;
+
+            let mut st = SpreadState::new(&platform, NodeId(0));
+            let mut proto = super::super::Push::new();
+            let mut r = 0u64;
+            while !st.complete() {
+                proto.step(&mut st, &mut rng);
+                r += 1;
+            }
+            p_total += r;
+        }
+        assert!(
+            pp_total < p_total,
+            "push-pull ({pp_total}) should beat push ({p_total})"
+        );
+    }
+
+    #[test]
+    fn completes() {
+        let platform = Platform::unit(100);
+        let mut st = SpreadState::new(&platform, NodeId(7));
+        let mut proto = PushPull::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rounds = 0;
+        while !st.complete() {
+            proto.step(&mut st, &mut rng);
+            rounds += 1;
+            assert!(rounds < 100);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The spreading round loop and its result record.
+
+use crate::protocols::{SpreadProtocol, SpreadState};
+use rand::rngs::SmallRng;
+use rendez_core::Platform;
+use rendez_sim::NodeId;
+
+/// Result of one spreading run.
+#[derive(Debug, Clone)]
+pub struct SpreadResult {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether the stop condition was met (false = round cap hit).
+    pub completed: bool,
+    /// Informed-node counts; entry `t` is the state after `t` rounds
+    /// (entry 0 is the initial state).
+    pub informed_history: Vec<u64>,
+    /// The paper's potential `I_t` (informed outgoing bandwidth), same
+    /// indexing as `informed_history`.
+    pub it_history: Vec<u64>,
+    /// Total rumor-carrying messages sent.
+    pub rumor_msgs: u64,
+}
+
+impl SpreadResult {
+    /// Final informed count.
+    pub fn final_informed(&self) -> u64 {
+        *self.informed_history.last().expect("history non-empty")
+    }
+}
+
+/// Run `proto` from `source` until everyone is informed or `max_rounds`.
+pub fn run_spread<P: SpreadProtocol + ?Sized>(
+    proto: &mut P,
+    platform: &Platform,
+    source: NodeId,
+    rng: &mut SmallRng,
+    max_rounds: u64,
+) -> SpreadResult {
+    run_spread_until(proto, platform, source, rng, max_rounds, |st| {
+        st.complete()
+    })
+}
+
+/// Run `proto` from `source` until `stop(state)` holds (checked after
+/// every round) or `max_rounds` is reached.
+pub fn run_spread_until<P, F>(
+    proto: &mut P,
+    platform: &Platform,
+    source: NodeId,
+    rng: &mut SmallRng,
+    max_rounds: u64,
+    mut stop: F,
+) -> SpreadResult
+where
+    P: SpreadProtocol + ?Sized,
+    F: FnMut(&SpreadState<'_>) -> bool,
+{
+    let mut st = SpreadState::new(platform, source);
+    let mut informed_history = Vec::with_capacity(64);
+    let mut it_history = Vec::with_capacity(64);
+    informed_history.push(st.informed.count() as u64);
+    it_history.push(st.informed.informed_out_bw());
+    let mut rumor_msgs = 0u64;
+    let mut completed = stop(&st);
+    while !completed && st.round < max_rounds {
+        rumor_msgs += proto.step(&mut st, rng);
+        st.round += 1;
+        informed_history.push(st.informed.count() as u64);
+        it_history.push(st.informed.informed_out_bw());
+        completed = stop(&st);
+    }
+    SpreadResult {
+        rounds: st.round,
+        completed,
+        informed_history,
+        it_history,
+        rumor_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{Push, PushPull};
+    use rand::SeedableRng;
+
+    #[test]
+    fn histories_are_consistent() {
+        let platform = Platform::unit(256);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut p = Push::new();
+        let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 1000);
+        assert!(r.completed);
+        assert_eq!(r.informed_history.len() as u64, r.rounds + 1);
+        assert_eq!(r.informed_history[0], 1);
+        assert_eq!(r.final_informed(), 256);
+        // Monotone non-decreasing.
+        for w in r.informed_history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Unit platform: I_t equals the informed count.
+        assert_eq!(r.it_history, r.informed_history);
+    }
+
+    #[test]
+    fn round_cap_reported() {
+        let platform = Platform::unit(100_0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut p = Push::new();
+        let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 2);
+        assert!(!r.completed);
+        assert_eq!(r.rounds, 2);
+        assert!(r.final_informed() < 1000);
+    }
+
+    #[test]
+    fn custom_stop_condition() {
+        let platform = Platform::unit(500);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p = PushPull::new();
+        let r = run_spread_until(&mut p, &platform, NodeId(0), &mut rng, 1000, |st| {
+            st.informed.count() >= 250
+        });
+        assert!(r.completed);
+        assert!(r.final_informed() >= 250);
+        assert!(r.final_informed() < 500, "should stop at half, not run out");
+    }
+
+    #[test]
+    fn source_already_satisfying_stop_runs_zero_rounds() {
+        let platform = Platform::unit(10);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut p = Push::new();
+        let r = run_spread_until(&mut p, &platform, NodeId(0), &mut rng, 100, |st| {
+            st.informed.count() >= 1
+        });
+        assert!(r.completed);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.rumor_msgs, 0);
+    }
+}

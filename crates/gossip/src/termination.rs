@@ -1,0 +1,212 @@
+//! Self-terminating spreading: when may a node stop gossiping?
+//!
+//! The paper's protocol never stops ("we do not assume that nodes stop
+//! asking for messages once they have the message"), trading perpetual
+//! background traffic for simplicity and churn tolerance; §5 lists making
+//! the service "even more practical" as future work. This module explores
+//! the classic counter-based answer: an informed node keeps participating
+//! until it has gone `patience` consecutive rounds without informing
+//! anyone new, then withdraws its offers. The experiment interface
+//! reports the *residual risk* — runs that terminate globally while some
+//! node is still uninformed — as a function of `patience`.
+
+use crate::informed::InformedSet;
+use rand::rngs::SmallRng;
+use rendez_core::{run_round_counts, NodeSelector, Platform, RoundWorkspace};
+use rendez_sim::NodeId;
+
+/// Result of one self-terminating spreading run.
+#[derive(Debug, Clone)]
+pub struct TerminatingResult {
+    /// Rounds until global quiescence (no active node left).
+    pub rounds_to_quiescence: u64,
+    /// Nodes informed when the system went quiet.
+    pub informed_at_quiescence: u64,
+    /// Whether everyone was informed before quiescence (success).
+    pub complete: bool,
+    /// Total rumor-carrying messages sent.
+    pub rumor_msgs: u64,
+}
+
+/// Run dating-service spreading where informed nodes withdraw after
+/// `patience` consecutive fruitless rounds. Uninformed nodes always keep
+/// requesting (they cost only their own bandwidth).
+///
+/// # Panics
+/// Panics if `patience == 0`.
+pub fn run_terminating_spread<S: NodeSelector + ?Sized>(
+    platform: &Platform,
+    selector: &S,
+    source: NodeId,
+    patience: u32,
+    rng: &mut SmallRng,
+    max_rounds: u64,
+) -> TerminatingResult {
+    assert!(patience > 0, "zero patience never spreads anything");
+    let n = platform.n();
+    let mut informed = InformedSet::new(n);
+    informed.inform(source, platform);
+    // Rounds since each informed node last informed someone new; only
+    // meaningful for informed nodes. u32::MAX marks "withdrawn".
+    let mut fruitless = vec![0u32; n];
+    let mut ws = RoundWorkspace::new(n);
+    let mut rumor_msgs = 0u64;
+    let mut rounds = 0u64;
+
+    while rounds < max_rounds {
+        // Active senders: informed, not withdrawn. Receivers: everyone
+        // (requests are cheap and uninformed nodes must keep pulling).
+        let active = |v: NodeId| -> bool {
+            informed.contains(v) && fruitless[v.index()] < patience
+        };
+        let any_active = (0..n).any(|i| active(NodeId::from_index(i)));
+        if !any_active {
+            break;
+        }
+        let out = run_round_counts(
+            n,
+            |v| {
+                let caps = platform.caps(v);
+                let offers = if active(v) { caps.bw_out } else { 0 };
+                (offers, caps.bw_in)
+            },
+            selector,
+            &mut ws,
+            rng,
+        );
+        // Round-start semantics: collect informs, then apply.
+        let mut newly: Vec<(u32, u32)> = Vec::new(); // (sender, receiver)
+        for d in &out.dates {
+            if informed.contains(d.sender) && fruitless[d.sender.index()] < patience {
+                rumor_msgs += 1;
+                if !informed.contains(d.receiver) {
+                    newly.push((d.sender.0, d.receiver.0));
+                }
+            }
+        }
+        let mut informed_someone = vec![false; n];
+        for &(s, r) in &newly {
+            if informed.inform(NodeId(r), platform) {
+                informed_someone[s as usize] = true;
+            }
+        }
+        for i in 0..n {
+            if !informed.contains(NodeId::from_index(i)) {
+                continue;
+            }
+            if informed_someone[i] {
+                fruitless[i] = 0;
+            } else if fruitless[i] < patience {
+                fruitless[i] += 1;
+            }
+        }
+        rounds += 1;
+        if informed.is_complete(n) {
+            // Let the counters wind down naturally; completion is what we
+            // report, quiescence follows within `patience` rounds.
+            break;
+        }
+    }
+
+    TerminatingResult {
+        rounds_to_quiescence: rounds,
+        informed_at_quiescence: informed.count() as u64,
+        complete: informed.is_complete(n),
+        rumor_msgs,
+    }
+}
+
+/// Failure rate over `trials` seeded runs: fraction that went quiet with
+/// uninformed nodes remaining.
+pub fn residual_risk<S: NodeSelector + ?Sized>(
+    platform: &Platform,
+    selector: &S,
+    patience: u32,
+    trials: u64,
+    base_seed: u64,
+) -> f64 {
+    use rand::SeedableRng;
+    let mut failures = 0u64;
+    for t in 0..trials {
+        let mut rng = SmallRng::seed_from_u64(base_seed ^ t.wrapping_mul(0x9E37_79B9));
+        let r = run_terminating_spread(platform, selector, NodeId(0), patience, &mut rng, 1_000_000);
+        if !r.complete {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::UniformSelector;
+
+    #[test]
+    fn generous_patience_always_completes() {
+        let n = 256;
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let r = run_terminating_spread(&platform, &selector, NodeId(0), 64, &mut rng, 1_000_000);
+            assert!(r.complete, "seed {seed}: quiesced at {}", r.informed_at_quiescence);
+        }
+    }
+
+    #[test]
+    fn tiny_patience_risks_dying_out() {
+        // patience = 1 from a single source: the source often goes quiet
+        // before the rumor takes hold.
+        let n = 512;
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let risk = residual_risk(&platform, &selector, 1, 40, 7);
+        assert!(risk > 0.2, "patience=1 risk unexpectedly low: {risk}");
+    }
+
+    #[test]
+    fn risk_decreases_with_patience() {
+        let n = 256;
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let r1 = residual_risk(&platform, &selector, 1, 40, 11);
+        let r4 = residual_risk(&platform, &selector, 4, 40, 11);
+        let r16 = residual_risk(&platform, &selector, 16, 40, 11);
+        assert!(r1 >= r4, "risk must not rise with patience: {r1} vs {r4}");
+        assert!(r4 >= r16, "risk must not rise with patience: {r4} vs {r16}");
+        assert!(r16 < 0.1, "patience=16 should almost always finish: {r16}");
+    }
+
+    #[test]
+    fn quiescence_saves_messages_vs_perpetual() {
+        // Compare rumor messages against the never-stopping protocol run
+        // for the same number of rounds.
+        let n = 400;
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = run_terminating_spread(&platform, &selector, NodeId(0), 16, &mut rng, 1_000_000);
+        assert!(r.complete);
+        // Perpetual spreading sends ~0.476·n informative-slot messages per
+        // round once saturated; the terminating variant must send fewer
+        // than that ceiling over the same horizon.
+        let ceiling = (0.476 * n as f64 * r.rounds_to_quiescence as f64) as u64;
+        assert!(
+            r.rumor_msgs < ceiling,
+            "terminating sent {} ≥ perpetual ceiling {}",
+            r.rumor_msgs,
+            ceiling
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero patience")]
+    fn zero_patience_rejected() {
+        let platform = Platform::unit(4);
+        let selector = UniformSelector::new(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = run_terminating_spread(&platform, &selector, NodeId(0), 0, &mut rng, 10);
+    }
+}

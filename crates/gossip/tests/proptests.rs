@@ -1,0 +1,97 @@
+//! Property-based tests for the spreading protocols.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::{Platform, UniformSelector};
+use rendez_gossip::phases::phase_breakdown;
+use rendez_gossip::{
+    run_spread, DatingSpread, FairPushPull, FairPull, Pull, Push, PushPull, SpreadProtocol,
+    SpreadState,
+};
+use rendez_sim::NodeId;
+
+fn protocols(n: usize) -> Vec<Box<dyn SpreadProtocol>> {
+    vec![
+        Box::new(Push::new()),
+        Box::new(Pull::new()),
+        Box::new(PushPull::new()),
+        Box::new(FairPull::new(n)),
+        Box::new(FairPushPull::new(n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monotone growth, valid counts and eventual completion for every
+    /// baseline protocol on any small platform and source.
+    #[test]
+    fn baselines_grow_monotonically(n in 2usize..80, source in any::<u32>(), seed in 0u64..10_000) {
+        let platform = Platform::unit(n);
+        let src = NodeId(source % n as u32);
+        for proto in protocols(n).iter_mut() {
+            let mut st = SpreadState::new(&platform, src);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut prev = 1;
+            let mut rounds = 0u64;
+            while !st.complete() && rounds < 5_000 {
+                proto.step(&mut st, &mut rng);
+                st.round += 1;
+                rounds += 1;
+                let now = st.informed.count();
+                prop_assert!(now >= prev, "{} shrank", proto.name());
+                prop_assert!(now <= n);
+                prev = now;
+            }
+            prop_assert!(st.complete(), "{} never completed at n={}", proto.name(), n);
+        }
+    }
+
+    /// Dating-service spreading completes on arbitrary C-bounded
+    /// heterogeneous platforms.
+    #[test]
+    fn dating_completes_on_heterogeneous_platforms(
+        caps in prop::collection::vec((1u32..=4, 1u32..=4), 2..60),
+        seed in 0u64..10_000,
+    ) {
+        let n = caps.len();
+        let platform = Platform::new(
+            caps.into_iter()
+                .map(|(bw_in, bw_out)| rendez_core::NodeCaps { bw_in, bw_out })
+                .collect(),
+        );
+        let selector = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = DatingSpread::new(&selector);
+        let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 20_000);
+        prop_assert!(r.completed);
+        // History invariants.
+        prop_assert_eq!(r.informed_history.len() as u64, r.rounds + 1);
+        prop_assert_eq!(*r.informed_history.last().unwrap(), n as u64);
+        prop_assert!(r.it_history.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    /// Phase breakdown is exhaustive and ordered for any monotone history.
+    #[test]
+    fn phase_breakdown_total_matches(history in prop::collection::vec(0u64..10_000, 1..100), m in 1u64..10_000, n in 1usize..10_000) {
+        let mut sorted = history;
+        sorted.sort_unstable();
+        let b = phase_breakdown(&sorted, m, n);
+        prop_assert_eq!(b.total(), (sorted.len() - 1) as u64);
+    }
+
+    /// Rumor messages are conserved: a run's rumor_msgs is at least the
+    /// number of nodes informed beyond the source (each inform needed at
+    /// least one rumor-carrying message).
+    #[test]
+    fn messages_lower_bounded_by_informs(n in 2usize..100, seed in 0u64..10_000) {
+        let platform = Platform::unit(n);
+        let selector = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = DatingSpread::new(&selector);
+        let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 20_000);
+        prop_assert!(r.completed);
+        prop_assert!(r.rumor_msgs >= (n as u64) - 1);
+    }
+}

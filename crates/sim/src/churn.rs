@@ -1,0 +1,162 @@
+//! Crash-stop churn schedules.
+//!
+//! The paper's introduction motivates designs that tolerate "dynamics of
+//! the networks, also node failures"; the dating service itself is
+//! stateless across rounds, which is why spreading keeps working under
+//! churn. The schedule here injects crash/recover events at round
+//! boundaries so integration tests can exercise exactly that.
+
+use crate::node::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A crash or recovery event applied at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The node stops sending, receiving and being scheduled.
+    Fail(NodeId),
+    /// The node resumes participation (its protocol state is preserved;
+    /// crash-recovery semantics are the protocol's concern).
+    Recover(NodeId),
+}
+
+impl ChurnEvent {
+    /// The node this event concerns.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            ChurnEvent::Fail(v) | ChurnEvent::Recover(v) => v,
+        }
+    }
+}
+
+/// A schedule of churn events keyed by round number.
+///
+/// Events scheduled for round `t` are applied *after* round `t` finishes,
+/// so within any round the set of live nodes is fixed — matching the
+/// synchronous model of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    // Sorted by round; stable order within a round.
+    events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnSchedule {
+    /// The empty schedule (no churn).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `node` to crash at the end of `round`.
+    pub fn fail_at(mut self, round: u64, node: NodeId) -> Self {
+        self.push(round, ChurnEvent::Fail(node));
+        self
+    }
+
+    /// Schedule `node` to recover at the end of `round`.
+    pub fn recover_at(mut self, round: u64, node: NodeId) -> Self {
+        self.push(round, ChurnEvent::Recover(node));
+        self
+    }
+
+    fn push(&mut self, round: u64, ev: ChurnEvent) {
+        self.events.push((round, ev));
+        // Keep sorted by round; insertion is rare (schedule construction).
+        self.events.sort_by_key(|&(r, _)| r);
+    }
+
+    /// Generate a schedule crashing a uniform random set of `failures`
+    /// distinct nodes (never `protected`), at uniform rounds in
+    /// `0..horizon`.
+    pub fn random_crashes(
+        n: usize,
+        failures: usize,
+        horizon: u64,
+        protected: Option<NodeId>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            failures < n,
+            "cannot crash {failures} of {n} nodes and keep the system alive"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut schedule = Self::none();
+        let mut victims: Vec<u32> = (0..n as u32)
+            .filter(|&v| Some(NodeId(v)) != protected)
+            .collect();
+        // Partial Fisher-Yates: the first `failures` entries are a uniform
+        // random subset.
+        for i in 0..failures.min(victims.len()) {
+            let j = rng.gen_range(i..victims.len());
+            victims.swap(i, j);
+            let round = rng.gen_range(0..horizon.max(1));
+            schedule.push(round, ChurnEvent::Fail(NodeId(victims[i])));
+        }
+        schedule
+    }
+
+    /// All events scheduled for exactly `round`, in schedule order.
+    pub fn events_at(&self, round: u64) -> impl Iterator<Item = ChurnEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |&&(r, _)| r == round)
+            .map(|&(_, e)| e)
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_by_round() {
+        let s = ChurnSchedule::none()
+            .fail_at(5, NodeId(1))
+            .fail_at(2, NodeId(2))
+            .recover_at(7, NodeId(1));
+        assert_eq!(s.len(), 3);
+        let at2: Vec<_> = s.events_at(2).collect();
+        assert_eq!(at2, vec![ChurnEvent::Fail(NodeId(2))]);
+        let at7: Vec<_> = s.events_at(7).collect();
+        assert_eq!(at7, vec![ChurnEvent::Recover(NodeId(1))]);
+        assert!(s.events_at(3).next().is_none());
+    }
+
+    #[test]
+    fn random_crashes_respects_protection() {
+        let s = ChurnSchedule::random_crashes(20, 10, 50, Some(NodeId(3)), 9);
+        assert_eq!(s.len(), 10);
+        for round in 0..50 {
+            for ev in s.events_at(round) {
+                assert_ne!(ev.node(), NodeId(3));
+            }
+        }
+    }
+
+    #[test]
+    fn random_crashes_distinct_victims() {
+        let s = ChurnSchedule::random_crashes(30, 15, 10, None, 4);
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..10 {
+            for ev in s.events_at(round) {
+                assert!(seen.insert(ev.node()), "duplicate victim {}", ev.node());
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash")]
+    fn too_many_failures_panics() {
+        let _ = ChurnSchedule::random_crashes(5, 5, 10, None, 0);
+    }
+}

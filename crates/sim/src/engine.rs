@@ -1,0 +1,581 @@
+//! The synchronous round engine.
+//!
+//! One [`Protocol`] object owns the state of all `n` simulated nodes (this
+//! keeps cache behaviour and allocation under control for `n = 10⁵`). The
+//! engine drives it through rounds:
+//!
+//! 1. `on_round_start(v)` for every live node `v`, in id order;
+//! 2. delivery of every message due this round, in a stable
+//!    `(destination, send-sequence)` order;
+//! 3. `on_round_end(v)` for every live node;
+//! 4. churn events scheduled for this round are applied.
+//!
+//! Messages sent anywhere within round `t` are delivered in round
+//! `t + latency` (default latency 1 — the paper's synchronous model).
+//! Random message loss, crash-stop churn, metrics and tracing are all
+//! engine-level concerns so protocol code stays pure.
+//!
+//! Determinism: each node owns a private `SmallRng` stream derived from the
+//! run seed, and delivery order is a pure function of the send history, so
+//! a run is reproducible bit-for-bit from `(protocol, config)`.
+
+use crate::churn::{ChurnEvent, ChurnSchedule};
+use crate::metrics::Metrics;
+use crate::node::NodeId;
+use crate::rng::small_rng_for;
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A protocol running on the engine. One implementation owns all per-node
+/// state; callbacks receive the node being scheduled.
+pub trait Protocol {
+    /// The message type exchanged between nodes.
+    type Msg;
+
+    /// Called once per round for every live node before deliveries.
+    fn on_round_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called for every message delivered to `node` this round.
+    fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called once per round for every live node after deliveries.
+    fn on_round_end(&mut self, _node: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Declared wire size of a message, for byte accounting. The paper's
+    /// control messages carry "one IP address"; protocols override this to
+    /// model their own sizes.
+    fn msg_bytes(_msg: &Self::Msg) -> usize {
+        1
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Rounds between send and delivery (≥ 1).
+    pub latency: u64,
+    /// Probability that any message is silently lost.
+    pub drop_prob: f64,
+    /// Master seed; all node RNG streams derive from it.
+    pub seed: u64,
+    /// Retain the most recent events in a trace of this capacity.
+    pub trace_capacity: Option<usize>,
+    /// Churn schedule applied at round boundaries.
+    pub churn: ChurnSchedule,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            latency: 1,
+            drop_prob: 0.0,
+            seed: 0,
+            trace_capacity: None,
+            churn: ChurnSchedule::none(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with the given seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Whether the predicate was satisfied (false = hit the round cap).
+    pub completed: bool,
+}
+
+/// Per-callback context handed to protocol hooks.
+pub struct Ctx<'a, M> {
+    round: u64,
+    node: NodeId,
+    n: usize,
+    rng: &'a mut SmallRng,
+    alive: &'a [bool],
+    outgoing: &'a mut Vec<Pending<M>>,
+    seq: &'a mut u64,
+    metrics: &'a mut Metrics,
+    trace: &'a mut Option<Trace>,
+    msg_bytes: fn(&M) -> usize,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The node this callback concerns.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// This node's private RNG stream.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Whether `v` is currently live.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Queue a message to `dst`, delivered `latency` rounds from now.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        assert!(dst.index() < self.n, "send to out-of-range node {dst}");
+        self.metrics.record_send((self.msg_bytes)(&msg));
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Send {
+                round: self.round,
+                src: self.node,
+                dst,
+            });
+        }
+        self.outgoing.push(Pending {
+            seq: *self.seq,
+            src: self.node,
+            dst,
+            msg,
+        });
+        *self.seq += 1;
+    }
+}
+
+struct Pending<M> {
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    msg: M,
+}
+
+/// The synchronous engine: drives a [`Protocol`] through rounds.
+pub struct Engine<P: Protocol> {
+    protocol: P,
+    n: usize,
+    round: u64,
+    alive: Vec<bool>,
+    rngs: Vec<SmallRng>,
+    engine_rng: SmallRng,
+    /// `buckets[i]` holds messages due at `round + 1 + i` (after the
+    /// current round's pop).
+    buckets: VecDeque<Vec<Pending<P::Msg>>>,
+    outgoing: Vec<Pending<P::Msg>>,
+    seq: u64,
+    config: EngineConfig,
+    metrics: Metrics,
+    trace: Option<Trace>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Create an engine for `n` nodes with the given protocol and config.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `latency == 0` or `drop_prob ∉ [0,1)`.
+    pub fn new(n: usize, protocol: P, config: EngineConfig) -> Self {
+        assert!(n > 0, "engine needs at least one node");
+        assert!(config.latency >= 1, "latency must be at least one round");
+        assert!(
+            (0.0..1.0).contains(&config.drop_prob),
+            "drop_prob must be in [0,1), got {}",
+            config.drop_prob
+        );
+        // Stream 0..n are node streams; n is the engine's own stream.
+        let rngs = (0..n).map(|i| small_rng_for(config.seed, i as u64)).collect();
+        let engine_rng = small_rng_for(config.seed, n as u64);
+        let trace = config.trace_capacity.map(Trace::with_capacity);
+        Self {
+            protocol,
+            n,
+            round: 0,
+            alive: vec![true; n],
+            rngs,
+            engine_rng,
+            buckets: VecDeque::new(),
+            outgoing: Vec::new(),
+            seq: 0,
+            config,
+            metrics: Metrics::new(),
+            trace,
+        }
+    }
+
+    /// Execute one full round.
+    pub fn run_round(&mut self) {
+        let round = self.round;
+
+        // Phase 1: round start hooks.
+        for i in 0..self.n {
+            if !self.alive[i] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                round,
+                node: NodeId::from_index(i),
+                n: self.n,
+                rng: &mut self.rngs[i],
+                alive: &self.alive,
+                outgoing: &mut self.outgoing,
+                seq: &mut self.seq,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                msg_bytes: P::msg_bytes,
+            };
+            self.protocol.on_round_start(NodeId::from_index(i), &mut ctx);
+        }
+
+        // Phase 2: deliveries due this round, stable (dst, seq) order.
+        let mut due = self.buckets.pop_front().unwrap_or_default();
+        due.sort_by_key(|p| (p.dst, p.seq));
+        for p in due {
+            let dsti = p.dst.index();
+            if !self.alive[dsti] {
+                self.metrics.record_drop_dead();
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Drop {
+                        round,
+                        src: p.src,
+                        dst: p.dst,
+                    });
+                }
+                continue;
+            }
+            if self.config.drop_prob > 0.0
+                && self.engine_rng.gen::<f64>() < self.config.drop_prob
+            {
+                self.metrics.record_drop_random();
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Drop {
+                        round,
+                        src: p.src,
+                        dst: p.dst,
+                    });
+                }
+                continue;
+            }
+            self.metrics.record_delivery();
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent::Deliver {
+                    round,
+                    src: p.src,
+                    dst: p.dst,
+                });
+            }
+            let mut ctx = Ctx {
+                round,
+                node: p.dst,
+                n: self.n,
+                rng: &mut self.rngs[dsti],
+                alive: &self.alive,
+                outgoing: &mut self.outgoing,
+                seq: &mut self.seq,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                msg_bytes: P::msg_bytes,
+            };
+            self.protocol.on_message(p.dst, p.src, p.msg, &mut ctx);
+        }
+
+        // Phase 3: round end hooks.
+        for i in 0..self.n {
+            if !self.alive[i] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                round,
+                node: NodeId::from_index(i),
+                n: self.n,
+                rng: &mut self.rngs[i],
+                alive: &self.alive,
+                outgoing: &mut self.outgoing,
+                seq: &mut self.seq,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                msg_bytes: P::msg_bytes,
+            };
+            self.protocol.on_round_end(NodeId::from_index(i), &mut ctx);
+        }
+
+        // File this round's sends into the bucket due at round + latency.
+        let slot = (self.config.latency - 1) as usize;
+        while self.buckets.len() <= slot {
+            self.buckets.push_back(Vec::new());
+        }
+        self.buckets[slot].extend(self.outgoing.drain(..));
+
+        // Phase 4: bookkeeping and churn.
+        self.metrics.close_round();
+        let events: Vec<ChurnEvent> = self.config.churn.events_at(round).collect();
+        for ev in events {
+            match ev {
+                ChurnEvent::Fail(v) => {
+                    self.alive[v.index()] = false;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::NodeFail { round, node: v });
+                    }
+                }
+                ChurnEvent::Recover(v) => {
+                    self.alive[v.index()] = true;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::NodeRecover { round, node: v });
+                    }
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Run rounds until `pred(protocol, completed_rounds)` holds (checked
+    /// after every round) or `max_rounds` is reached.
+    pub fn run_until<F>(&mut self, mut pred: F, max_rounds: u64) -> RunOutcome
+    where
+        F: FnMut(&P, u64) -> bool,
+    {
+        for _ in 0..max_rounds {
+            self.run_round();
+            if pred(&self.protocol, self.round) {
+                return RunOutcome {
+                    rounds: self.round,
+                    completed: true,
+                };
+            }
+        }
+        RunOutcome {
+            rounds: self.round,
+            completed: false,
+        }
+    }
+
+    /// Run exactly `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// Completed rounds so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether node `v` is currently live.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Number of currently live nodes.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Shared access to the protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol state (for test instrumentation).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Consume the engine, returning the protocol.
+    pub fn into_protocol(self) -> P {
+        self.protocol
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood protocol: node 0 starts with a token; every holder sends it to
+    /// (id+1) mod n each round. Deterministic ring traversal.
+    struct Ring {
+        has: Vec<bool>,
+    }
+
+    impl Protocol for Ring {
+        type Msg = ();
+
+        fn on_round_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, ()>) {
+            if self.has[node.index()] {
+                let next = NodeId::from_index((node.index() + 1) % ctx.n());
+                ctx.send(next, ());
+            }
+        }
+
+        fn on_message(&mut self, node: NodeId, _from: NodeId, _msg: (), _ctx: &mut Ctx<'_, ()>) {
+            self.has[node.index()] = true;
+        }
+
+        fn msg_bytes(_: &()) -> usize {
+            6
+        }
+    }
+
+    fn ring(n: usize) -> Ring {
+        let mut has = vec![false; n];
+        has[0] = true;
+        Ring { has }
+    }
+
+    #[test]
+    fn token_walks_the_ring() {
+        let mut e = Engine::new(5, ring(5), EngineConfig::default());
+        // After k rounds, nodes 0..=k hold the token (delivery in round t+1).
+        e.run_round();
+        assert!(!e.protocol().has[1]);
+        e.run_round();
+        assert!(e.protocol().has[1]);
+        let out = e.run_until(|p, _| p.has.iter().all(|&h| h), 100);
+        assert!(out.completed);
+        assert_eq!(e.live_count(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut e = Engine::new(
+                8,
+                ring(8),
+                EngineConfig {
+                    trace_capacity: Some(64),
+                    ..EngineConfig::seeded(seed)
+                },
+            );
+            e.run_rounds(10);
+            (e.metrics().sent, e.metrics().delivered)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = EngineConfig {
+            latency: 3,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(4, ring(4), cfg);
+        e.run_rounds(3); // sent at round 0 → delivered at round 3
+        assert!(!e.protocol().has[1]);
+        e.run_round();
+        assert!(e.protocol().has[1]);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_receive() {
+        let cfg = EngineConfig {
+            churn: ChurnSchedule::none().fail_at(0, NodeId(1)),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(3, ring(3), cfg);
+        e.run_rounds(5);
+        assert!(!e.protocol().has[1]);
+        assert!(e.metrics().dropped_dead > 0);
+        assert!(!e.is_alive(NodeId(1)));
+        assert_eq!(e.live_count(), 2);
+    }
+
+    #[test]
+    fn recovery_resumes_participation() {
+        let cfg = EngineConfig {
+            churn: ChurnSchedule::none()
+                .fail_at(0, NodeId(1))
+                .recover_at(3, NodeId(1)),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(3, ring(3), cfg);
+        let out = e.run_until(|p, _| p.has[1], 50);
+        assert!(out.completed, "node 1 should eventually receive");
+    }
+
+    #[test]
+    fn full_drop_rate_blocks_everything() {
+        let cfg = EngineConfig {
+            drop_prob: 0.999_999,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(3, ring(3), cfg);
+        e.run_rounds(20);
+        assert!(!e.protocol().has[1]);
+        assert!(e.metrics().dropped_random > 0);
+    }
+
+    #[test]
+    fn byte_accounting_uses_msg_bytes() {
+        let mut e = Engine::new(4, ring(4), EngineConfig::default());
+        e.run_rounds(2);
+        assert_eq!(e.metrics().bytes_sent, e.metrics().sent * 6);
+    }
+
+    #[test]
+    fn run_until_reports_cap() {
+        let mut e = Engine::new(64, ring(64), EngineConfig::default());
+        let out = e.run_until(|p, _| p.has.iter().all(|&h| h), 3);
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let cfg = EngineConfig {
+            trace_capacity: Some(16),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(3, ring(3), cfg);
+        e.run_rounds(2);
+        let trace = e.trace().unwrap();
+        assert!(trace.total_recorded() > 0);
+        assert!(trace
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Deliver { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn send_out_of_range_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = ();
+            fn on_round_start(&mut self, _node: NodeId, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(NodeId(99), ());
+            }
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+        }
+        Engine::new(2, Bad, EngineConfig::default()).run_round();
+    }
+}

@@ -1,0 +1,113 @@
+//! Message and byte accounting for protocol runs.
+//!
+//! §2 of the paper argues the dating service's control traffic is
+//! negligible ("these will be only small messages — typically one IP
+//! address in each message"); the `exp_overhead` harness quantifies that
+//! claim, and this recorder is where the counts come from.
+
+/// Counters for one engine run, plus an optional per-round series.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Messages handed to the engine by `Ctx::send`.
+    pub sent: u64,
+    /// Messages delivered to a protocol handler.
+    pub delivered: u64,
+    /// Messages addressed to a crashed node.
+    pub dropped_dead: u64,
+    /// Messages dropped by the random-loss model.
+    pub dropped_random: u64,
+    /// Total declared wire bytes of sent messages.
+    pub bytes_sent: u64,
+    /// Per-round `(sent, delivered)` series, appended at each round end.
+    pub per_round: Vec<(u64, u64)>,
+    sent_this_round: u64,
+    delivered_this_round: u64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_send(&mut self, bytes: usize) {
+        self.sent += 1;
+        self.sent_this_round += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    #[inline]
+    pub(crate) fn record_delivery(&mut self) {
+        self.delivered += 1;
+        self.delivered_this_round += 1;
+    }
+
+    #[inline]
+    pub(crate) fn record_drop_dead(&mut self) {
+        self.dropped_dead += 1;
+    }
+
+    #[inline]
+    pub(crate) fn record_drop_random(&mut self) {
+        self.dropped_random += 1;
+    }
+
+    pub(crate) fn close_round(&mut self) {
+        self.per_round
+            .push((self.sent_this_round, self.delivered_this_round));
+        self.sent_this_round = 0;
+        self.delivered_this_round = 0;
+    }
+
+    /// Messages still undelivered and unaccounted (in flight when the run
+    /// stopped).
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered - self.dropped_dead - self.dropped_random
+    }
+
+    /// Mean sent messages per recorded round.
+    pub fn mean_sent_per_round(&self) -> f64 {
+        if self.per_round.is_empty() {
+            return 0.0;
+        }
+        self.per_round.iter().map(|&(s, _)| s as f64).sum::<f64>() / self.per_round.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.record_send(6);
+        m.record_send(6);
+        m.record_delivery();
+        m.record_drop_dead();
+        assert_eq!(m.sent, 2);
+        assert_eq!(m.delivered, 1);
+        assert_eq!(m.dropped_dead, 1);
+        assert_eq!(m.bytes_sent, 12);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn per_round_series() {
+        let mut m = Metrics::new();
+        m.record_send(1);
+        m.close_round();
+        m.record_send(1);
+        m.record_send(1);
+        m.record_delivery();
+        m.close_round();
+        assert_eq!(m.per_round, vec![(1, 0), (2, 1)]);
+        assert!((m.mean_sent_per_round() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_mean_is_zero() {
+        assert_eq!(Metrics::new().mean_sent_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Node identifiers.
+
+/// Dense node identifier: index into every per-node array in the workspace.
+///
+/// The simulator addresses the `n` participants as `0..n`; `u32` keeps
+/// per-message envelopes small (the paper's control messages carry "one IP
+/// address", and our `NodeId` plays that role in the simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The usize index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a usize index.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX` (4 billion nodes is far beyond any
+    /// experiment in the paper).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+
+    /// Iterate all node ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId::from_index)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<NodeId> = NodeId::all(4).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bounded event trace for debugging protocol runs.
+//!
+//! Disabled by default (zero overhead beyond a branch); when enabled the
+//! engine records sends, deliveries, drops and churn into a fixed-capacity
+//! ring buffer, oldest events evicted first.
+
+use crate::node::NodeId;
+
+/// One traced engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was queued for delivery.
+    Send {
+        /// Round in which the send happened.
+        round: u64,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// A message reached its destination handler.
+    Deliver {
+        /// Round in which delivery happened.
+        round: u64,
+        /// Original sender.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+    },
+    /// A message was dropped (dead destination or random loss).
+    Drop {
+        /// Round in which the drop happened.
+        round: u64,
+        /// Original sender.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+    },
+    /// A node crashed.
+    NodeFail {
+        /// Round at whose end the crash applied.
+        round: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node recovered.
+    NodeRecover {
+        /// Round at whose end the recovery applied.
+        round: u64,
+        /// The recovered node.
+        node: NodeId,
+    },
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    head: usize,
+    len: usize,
+    total: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `cap` most-recent events.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest if full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            self.len = self.buf.len();
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (tail, headpart) = self.buf.split_at(self.head);
+        headpart.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(round: u64, s: u32, d: u32) -> TraceEvent {
+        TraceEvent::Send {
+            round,
+            src: NodeId(s),
+            dst: NodeId(d),
+        }
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let mut t = Trace::with_capacity(8);
+        for i in 0..5 {
+            t.record(send(i, 0, 1));
+        }
+        let rounds: Vec<u64> = t
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Send { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.total_recorded(), 5);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..7 {
+            t.record(send(i, 0, 1));
+        }
+        let rounds: Vec<u64> = t
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Send { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![4, 5, 6]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::with_capacity(0);
+    }
+}

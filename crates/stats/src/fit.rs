@@ -1,0 +1,132 @@
+//! Ordinary least-squares line fitting.
+//!
+//! Used to *quantify* asymptotic claims instead of eyeballing them: the
+//! integration tests fit measured spreading rounds against `log n` and
+//! assert the slope/intercept shape (Theorem 4's `O(log n)`), and the
+//! pipelining experiments fit makespan against `k` (unit slope).
+
+/// Result of fitting `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1.0 = perfect line).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fit a least-squares line through `(x, y)` pairs.
+///
+/// # Panics
+/// Panics with fewer than two points or when all `x` coincide.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values coincide");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y: the fit is exact (slope 0)
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fit `y ≈ a·log₂(x) + b` — the shape of every `O(log n)` claim here.
+pub fn fit_log2(xs: &[f64], ys: &[f64]) -> LineFit {
+    let lx: Vec<f64> = xs.iter().map(|&x| x.log2()).collect();
+    fit_line(&lx, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x - 1.0).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_well() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 3.0 * x + 7.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let f = fit_line(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_fit_recovers_logarithmic_growth() {
+        let xs = [16.0f64, 64.0, 256.0, 1024.0, 4096.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 4.0 * x.log2() + 3.0).collect();
+        let f = fit_log2(&xs, &ys);
+        assert!((f.slope - 4.0).abs() < 1e-10);
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poor_fit_has_low_r_squared() {
+        // y independent of x.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let f = fit_line(&xs, &ys);
+        assert!(f.r_squared < 0.3, "r² = {}", f.r_squared);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = fit_line(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn vertical_line_panics() {
+        let _ = fit_line(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Histograms: fixed-bin over a real interval and exact integer counts.
+//!
+//! [`Histogram`] buckets real observations into uniform bins over `[lo, hi)`
+//! with explicit under/overflow counters, and supports quantile queries.
+//! [`CountHistogram`] keeps exact counts of small non-negative integers
+//! (round counts, date counts per node) — this is what Figure 2's
+//! round-count distributions use.
+
+/// Uniform-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi})"
+        );
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Floating-point roundoff can push x/w onto nbins exactly.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Empirical quantile `q ∈ [0,1]` (bin-midpoint resolution; in-range
+    /// observations only). Returns `None` if no in-range observations.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bin_center(i));
+            }
+        }
+        Some(self.bin_center(self.bins.len() - 1))
+    }
+
+    /// Fraction of all observations falling in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+}
+
+/// Exact counts of small non-negative integers.
+///
+/// Grows on demand; `add(k)` is O(1) amortized. Used for round counts and
+/// per-node date counts where bin boundaries would only blur the data.
+#[derive(Debug, Clone, Default)]
+pub struct CountHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountHistogram {
+    /// An empty count histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of value `k`.
+    #[inline]
+    pub fn add(&mut self, k: usize) {
+        if k >= self.counts.len() {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations equal to `k`.
+    pub fn count_of(&self, k: usize) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value observed, or `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Empirical probability of the value `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_of(k) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum();
+        s / self.total as f64
+    }
+
+    /// Exact integer quantile: the smallest `k` with `CDF(k) ≥ q`.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(k);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Merge another count histogram into this one.
+    pub fn merge(&mut self, other: &CountHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Iterate `(value, count)` pairs with nonzero count.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (k, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[5], 1); // 5.0
+        assert_eq!(h.bins()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_median() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((45.0..=55.0).contains(&med), "median {med}");
+        assert_eq!(h.quantile(0.0).unwrap(), h.bin_center(0));
+        assert_eq!(h.quantile(1.0).unwrap(), h.bin_center(99));
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn count_histogram_basic() {
+        let mut h = CountHistogram::new();
+        for k in [0, 1, 1, 2, 2, 2, 7] {
+            h.add(k);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count_of(2), 3);
+        assert_eq!(h.count_of(3), 0);
+        assert_eq!(h.max_value(), Some(7));
+        assert!((h.pmf(1) - 2.0 / 7.0).abs() < 1e-12);
+        assert!((h.mean() - (0 + 1 + 1 + 2 + 2 + 2 + 7) as f64 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_histogram_quantile_exact() {
+        let mut h = CountHistogram::new();
+        for k in 1..=100usize {
+            h.add(k);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.01), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn count_histogram_merge() {
+        let mut a = CountHistogram::new();
+        a.add(1);
+        a.add(2);
+        let mut b = CountHistogram::new();
+        b.add(2);
+        b.add(9);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count_of(2), 2);
+        assert_eq!(a.count_of(9), 1);
+        assert_eq!(a.max_value(), Some(9));
+    }
+
+    #[test]
+    fn count_histogram_iter_skips_zeros() {
+        let mut h = CountHistogram::new();
+        h.add(0);
+        h.add(5);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (5, 1)]);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # rendez-storage — replicated storage via dating-service block exchange
+//!
+//! The paper's second §5 extension: "The dating service may also be used
+//! in distributed replicated storage systems. In this context, each node
+//! offers room (in terms of block) to store remote objects and requests
+//! room to store remotely its local objects. In this case, the dating
+//! service may be used to organize block exchanges between nodes."
+//!
+//! Mapping onto Algorithm 1's request types:
+//!
+//! * a node's **offers** (requests-for-sending) = replica slots it still
+//!   needs for its own blocks (its *demand*, capped by network bandwidth);
+//! * a node's **requests** (requests-for-receiving) = free storage slots
+//!   it is willing to fill (its *supply*, same cap);
+//! * a **date** `(sender → receiver)` stores one of the sender's
+//!   under-replicated blocks on the receiver.
+//!
+//! [`model`] holds the block/replica bookkeeping; [`exchange`] runs the
+//! round loop; [`recovery`] crashes nodes and re-replicates. Placement
+//! invariants (capacity never exceeded, no duplicate replica on one node,
+//! never on the owner) are enforced and tested.
+
+pub mod exchange;
+pub mod model;
+pub mod recovery;
+
+pub use exchange::{run_exchange, ExchangeResult};
+pub use model::{BlockId, StorageSystem};
+pub use recovery::{crash_and_recover, RecoveryResult};

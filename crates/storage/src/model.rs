@@ -1,0 +1,340 @@
+//! Block and replica bookkeeping for the storage exchange.
+
+use rendez_sim::NodeId;
+
+/// Dense block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// One stored object block.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// The node that owns the primary copy.
+    pub owner: NodeId,
+    /// Nodes holding remote replicas (never contains the owner).
+    pub holders: Vec<u32>,
+}
+
+/// The replicated storage system's global state.
+#[derive(Debug, Clone)]
+pub struct StorageSystem {
+    /// Replica slots each node offers to the network.
+    capacity: Vec<u32>,
+    /// Slots currently used on each node.
+    used: Vec<u32>,
+    /// All blocks, indexed by `BlockId`.
+    blocks: Vec<BlockInfo>,
+    /// Blocks owned by each node.
+    owned: Vec<Vec<u32>>,
+    /// Whether each node is online.
+    online: Vec<bool>,
+    /// Target replicas per block.
+    replication: u32,
+}
+
+impl StorageSystem {
+    /// Build a system: node `i` offers `capacity[i]` replica slots and
+    /// owns `blocks_per_node[i]` blocks; every block wants `replication`
+    /// remote replicas.
+    ///
+    /// # Panics
+    /// Panics if sizes mismatch, `replication == 0`, `replication ≥ n`
+    /// (a block cannot have more distinct non-owner holders), or total
+    /// capacity cannot possibly hold all replicas.
+    pub fn new(capacity: Vec<u32>, blocks_per_node: Vec<u32>, replication: u32) -> Self {
+        let n = capacity.len();
+        assert_eq!(n, blocks_per_node.len(), "length mismatch");
+        assert!(replication > 0, "replication must be positive");
+        assert!(
+            (replication as usize) < n,
+            "replication {replication} needs at least {} nodes",
+            replication + 1
+        );
+        let demand: u64 = blocks_per_node
+            .iter()
+            .map(|&b| b as u64 * replication as u64)
+            .sum();
+        let supply: u64 = capacity.iter().map(|&c| c as u64).sum();
+        assert!(
+            supply >= demand,
+            "capacity {supply} cannot hold {demand} replicas"
+        );
+        let mut blocks = Vec::new();
+        let mut owned = vec![Vec::new(); n];
+        for (i, &count) in blocks_per_node.iter().enumerate() {
+            for _ in 0..count {
+                owned[i].push(blocks.len() as u32);
+                blocks.push(BlockInfo {
+                    owner: NodeId::from_index(i),
+                    holders: Vec::new(),
+                });
+            }
+        }
+        Self {
+            capacity,
+            used: vec![0; n],
+            blocks,
+            owned,
+            online: vec![true; n],
+            replication,
+        }
+    }
+
+    /// Uniform system: every node has the same capacity and block count.
+    pub fn uniform(n: usize, capacity: u32, blocks_per_node: u32, replication: u32) -> Self {
+        Self::new(
+            vec![capacity; n],
+            vec![blocks_per_node; n],
+            replication,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Target replication factor.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Whether node `v` is online.
+    pub fn is_online(&self, v: NodeId) -> bool {
+        self.online[v.index()]
+    }
+
+    /// Free replica slots on `v` (0 when offline).
+    pub fn free_slots(&self, v: NodeId) -> u32 {
+        if !self.online[v.index()] {
+            return 0;
+        }
+        self.capacity[v.index()] - self.used[v.index()]
+    }
+
+    /// Missing replica count across `v`'s blocks (0 when offline).
+    pub fn demand(&self, v: NodeId) -> u32 {
+        if !self.online[v.index()] {
+            return 0;
+        }
+        self.owned[v.index()]
+            .iter()
+            .map(|&b| {
+                let have = self.blocks[b as usize].holders.len() as u32;
+                self.replication.saturating_sub(have)
+            })
+            .sum()
+    }
+
+    /// Total missing replicas across all online owners.
+    pub fn total_missing(&self) -> u64 {
+        (0..self.n())
+            .map(|i| self.demand(NodeId::from_index(i)) as u64)
+            .sum()
+    }
+
+    /// True when every online owner's blocks are fully replicated.
+    pub fn fully_replicated(&self) -> bool {
+        self.total_missing() == 0
+    }
+
+    /// Try to place one of `owner`'s under-replicated blocks on `target`.
+    /// Fails (returns `None`) when no candidate block exists — e.g. all of
+    /// them already have a replica on `target` — or `target` has no room.
+    pub fn place(&mut self, owner: NodeId, target: NodeId) -> Option<BlockId> {
+        if owner == target || self.free_slots(target) == 0 || !self.is_online(owner) {
+            return None;
+        }
+        let t = target.0;
+        let candidate = self.owned[owner.index()]
+            .iter()
+            .copied()
+            .find(|&b| {
+                let info = &self.blocks[b as usize];
+                (info.holders.len() as u32) < self.replication && !info.holders.contains(&t)
+            })?;
+        self.blocks[candidate as usize].holders.push(t);
+        self.used[target.index()] += 1;
+        Some(BlockId(candidate))
+    }
+
+    /// Take node `v` offline: replicas stored **on** it are lost (owners
+    /// must re-replicate); its own blocks stay owned but dormant until it
+    /// returns.
+    pub fn crash(&mut self, v: NodeId) {
+        assert!(self.online[v.index()], "{v} is already offline");
+        self.online[v.index()] = false;
+        let gone = v.0;
+        for b in &mut self.blocks {
+            if let Some(pos) = b.holders.iter().position(|&h| h == gone) {
+                b.holders.swap_remove(pos);
+            }
+        }
+        self.used[v.index()] = 0;
+    }
+
+    /// Bring node `v` back online with empty storage.
+    pub fn recover(&mut self, v: NodeId) {
+        assert!(!self.online[v.index()], "{v} is already online");
+        self.online[v.index()] = true;
+    }
+
+    /// True when replication is incomplete **and** no valid placement
+    /// exists at all: for every under-replicated block, every node with a
+    /// free slot is offline, the owner itself, or already a holder.
+    ///
+    /// This can only happen with zero supply slack — the greedy exchange
+    /// can strand the last replicas on infeasible pairings. Real systems
+    /// avoid it by provisioning headroom (see `run_exchange`'s docs).
+    pub fn is_stuck(&self) -> bool {
+        if self.fully_replicated() {
+            return false;
+        }
+        let free: Vec<u32> = (0..self.n() as u32)
+            .filter(|&v| self.free_slots(NodeId(v)) > 0)
+            .collect();
+        for b in &self.blocks {
+            if !self.online[b.owner.index()] {
+                continue;
+            }
+            if (b.holders.len() as u32) < self.replication {
+                let placeable = free
+                    .iter()
+                    .any(|&v| v != b.owner.0 && !b.holders.contains(&v));
+                if placeable {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Per-node used-slot counts (the load-balance metric).
+    pub fn load(&self) -> &[u32] {
+        &self.used
+    }
+
+    /// Max/mean used slots over online nodes with positive capacity.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<u32> = (0..self.n())
+            .filter(|&i| self.online[i] && self.capacity[i] > 0)
+            .map(|i| self.used[i])
+            .collect();
+        if loads.is_empty() {
+            return 0.0;
+        }
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        let mean = loads.iter().map(|&u| u as f64).sum::<f64>() / loads.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Check structural invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut used = vec![0u32; self.n()];
+        for (bid, b) in self.blocks.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &h in &b.holders {
+                if h == b.owner.0 {
+                    return Err(format!("block {bid} replicated on its owner"));
+                }
+                if !seen.insert(h) {
+                    return Err(format!("block {bid} has duplicate holder {h}"));
+                }
+                if !self.online[h as usize] {
+                    return Err(format!("block {bid} held by offline node {h}"));
+                }
+                used[h as usize] += 1;
+            }
+            if b.holders.len() as u32 > self.replication {
+                return Err(format!("block {bid} over-replicated"));
+            }
+        }
+        for i in 0..self.n() {
+            if used[i] != self.used[i] {
+                return Err(format!("node {i} used-count drift"));
+            }
+            if used[i] > self.capacity[i] {
+                return Err(format!("node {i} over capacity"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_demand() {
+        let s = StorageSystem::uniform(10, 6, 2, 3);
+        assert_eq!(s.n(), 10);
+        assert_eq!(s.blocks().len(), 20);
+        assert_eq!(s.demand(NodeId(0)), 6); // 2 blocks × 3 replicas
+        assert_eq!(s.total_missing(), 60);
+        assert!(!s.fully_replicated());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn place_respects_rules() {
+        let mut s = StorageSystem::uniform(4, 10, 1, 2);
+        // Self-placement refused.
+        assert!(s.place(NodeId(0), NodeId(0)).is_none());
+        let b = s.place(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(b, BlockId(0));
+        // Duplicate holder refused.
+        assert!(s.place(NodeId(0), NodeId(1)).is_none());
+        let _ = s.place(NodeId(0), NodeId(2)).unwrap();
+        // Replication met: no more placements for node 0's block.
+        assert!(s.place(NodeId(0), NodeId(3)).is_none());
+        assert_eq!(s.demand(NodeId(0)), 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_limits_placement() {
+        let mut s = StorageSystem::new(vec![1, 1, 8, 8], vec![2, 0, 0, 0], 2);
+        // Node 1 has one slot: second placement there must fail.
+        assert!(s.place(NodeId(0), NodeId(1)).is_some());
+        assert!(s.place(NodeId(0), NodeId(1)).is_none());
+        assert_eq!(s.free_slots(NodeId(1)), 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_loses_replicas() {
+        let mut s = StorageSystem::uniform(5, 10, 1, 2);
+        s.place(NodeId(0), NodeId(1)).unwrap();
+        s.place(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(s.demand(NodeId(0)), 0);
+        s.crash(NodeId(1));
+        assert_eq!(s.demand(NodeId(0)), 1, "lost replica re-enters demand");
+        assert_eq!(s.free_slots(NodeId(1)), 0, "offline node supplies nothing");
+        s.check_invariants().unwrap();
+        s.recover(NodeId(1));
+        assert_eq!(s.free_slots(NodeId(1)), 10);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn impossible_capacity_rejected() {
+        let _ = StorageSystem::uniform(4, 1, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn excessive_replication_rejected() {
+        let _ = StorageSystem::uniform(3, 10, 1, 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Crash recovery: losing replicas and re-replicating via the exchange.
+
+use crate::exchange::{run_exchange, ExchangeResult};
+use crate::model::StorageSystem;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_core::NodeSelector;
+use rendez_sim::NodeId;
+
+/// Result of a crash-and-recover experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryResult {
+    /// Replicas lost to the crashes.
+    pub replicas_lost: u64,
+    /// Rounds the re-replication exchange took.
+    pub recovery_rounds: u64,
+    /// Whether full replication was restored.
+    pub restored: bool,
+    /// The underlying exchange result.
+    pub exchange: ExchangeResult,
+}
+
+/// Crash `failures` random online nodes, then run the exchange until
+/// replication is restored (or `max_rounds`).
+///
+/// # Panics
+/// Panics if there are not enough online nodes to crash and still satisfy
+/// the replication factor.
+pub fn crash_and_recover<S: NodeSelector + ?Sized>(
+    sys: &mut StorageSystem,
+    selector: &S,
+    failures: usize,
+    net_bw: u32,
+    rng: &mut SmallRng,
+    max_rounds: u64,
+) -> RecoveryResult {
+    let n = sys.n();
+    let online: Vec<u32> = (0..n as u32)
+        .filter(|&v| sys.is_online(NodeId(v)))
+        .collect();
+    assert!(
+        online.len() > failures + sys.replication() as usize,
+        "crashing {failures} of {} online nodes breaks replication {}",
+        online.len(),
+        sys.replication()
+    );
+    // Uniform victim choice (partial Fisher-Yates).
+    let mut victims = online;
+    for i in 0..failures {
+        let j = rng.gen_range(i..victims.len());
+        victims.swap(i, j);
+    }
+    let before = sys.total_missing();
+    for &v in &victims[..failures] {
+        sys.crash(NodeId(v));
+    }
+    let replicas_lost = sys.total_missing() - before;
+
+    let exchange = run_exchange(sys, selector, net_bw, rng, max_rounds);
+    RecoveryResult {
+        replicas_lost,
+        recovery_rounds: exchange.rounds,
+        restored: exchange.completed,
+        exchange,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rendez_core::UniformSelector;
+
+    fn replicated_system(n: usize, seed: u64) -> (StorageSystem, SmallRng) {
+        let mut sys = StorageSystem::uniform(n, 10, 2, 3);
+        let sel = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = run_exchange(&mut sys, &sel, 4, &mut rng, 10_000);
+        assert!(r.completed);
+        (sys, rng)
+    }
+
+    #[test]
+    fn recovery_restores_replication() {
+        let n = 60;
+        let (mut sys, mut rng) = replicated_system(n, 1);
+        let sel = UniformSelector::new(n);
+        let r = crash_and_recover(&mut sys, &sel, 6, 4, &mut rng, 10_000);
+        assert!(r.replicas_lost > 0, "6 crashes must lose replicas");
+        assert!(r.restored, "re-replication failed");
+        assert!(sys.fully_replicated());
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_cost_tracks_lost_replicas() {
+        let n = 80;
+        let (mut sys, mut rng) = replicated_system(n, 2);
+        let sel = UniformSelector::new(n);
+        let r = crash_and_recover(&mut sys, &sel, 4, 4, &mut rng, 10_000);
+        assert_eq!(
+            r.exchange.total_placements(),
+            r.replicas_lost,
+            "each lost replica is re-placed exactly once"
+        );
+    }
+
+    #[test]
+    fn zero_failures_is_noop() {
+        let n = 30;
+        let (mut sys, mut rng) = replicated_system(n, 3);
+        let sel = UniformSelector::new(n);
+        let r = crash_and_recover(&mut sys, &sel, 0, 4, &mut rng, 100);
+        assert_eq!(r.replicas_lost, 0);
+        assert_eq!(r.recovery_rounds, 0);
+        assert!(r.restored);
+    }
+
+    #[test]
+    #[should_panic(expected = "breaks replication")]
+    fn too_many_failures_rejected() {
+        let n = 10;
+        let (mut sys, mut rng) = replicated_system(n, 4);
+        let sel = UniformSelector::new(n);
+        let _ = crash_and_recover(&mut sys, &sel, 8, 4, &mut rng, 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the storage exchange.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendez_core::UniformSelector;
+use rendez_sim::NodeId;
+use rendez_storage::{run_exchange, StorageSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any feasible uniform system converges to full replication with
+    /// invariants intact throughout.
+    #[test]
+    fn exchange_converges_and_respects_invariants(
+        n in 5usize..60,
+        blocks in 1u32..4,
+        replication in 1u32..4,
+        slack in 0u32..4,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((replication as usize) < n);
+        let capacity = blocks * replication + slack;
+        let mut sys = StorageSystem::uniform(n, capacity, blocks, replication);
+        let sel = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = run_exchange(&mut sys, &sel, 3, &mut rng, 50_000);
+        // With any slack, convergence is unconditional; at zero slack the
+        // only legal failure mode is a *provable* deadlock.
+        if slack > 0 {
+            prop_assert!(r.completed, "stuck with {} missing", sys.total_missing());
+        } else {
+            prop_assert!(
+                r.completed || (r.deadlocked && sys.is_stuck()),
+                "silent stall with {} missing",
+                sys.total_missing()
+            );
+        }
+        prop_assert!(sys.check_invariants().is_ok());
+        if r.completed {
+            prop_assert_eq!(
+                r.total_placements(),
+                n as u64 * blocks as u64 * replication as u64
+            );
+        }
+    }
+
+    /// Placement rules: never on the owner, never duplicated, never over
+    /// capacity — under adversarial placement orders.
+    #[test]
+    fn manual_placements_respect_rules(
+        n in 3usize..20,
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 1..200),
+    ) {
+        let mut sys = StorageSystem::uniform(n, 4, 2, 2);
+        for (a, b) in ops {
+            let owner = NodeId(a % n as u32);
+            let target = NodeId(b % n as u32);
+            let _ = sys.place(owner, target); // may refuse; must stay sound
+        }
+        prop_assert!(sys.check_invariants().is_ok());
+    }
+
+    /// Crashing any online node keeps the system consistent, and demand
+    /// only grows (lost replicas re-enter demand).
+    #[test]
+    fn crash_consistency(n in 4usize..30, victim in any::<u32>(), seed in 0u64..10_000) {
+        let mut sys = StorageSystem::uniform(n, 8, 2, 2);
+        let sel = UniformSelector::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = run_exchange(&mut sys, &sel, 3, &mut rng, 50_000);
+        prop_assume!(r.completed);
+        let v = NodeId(victim % n as u32);
+        sys.crash(v);
+        prop_assert!(sys.check_invariants().is_ok());
+        prop_assert!(!sys.is_online(v));
+        prop_assert_eq!(sys.free_slots(v), 0);
+    }
+}

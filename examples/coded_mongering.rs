@@ -1,0 +1,41 @@
+//! Network-coded rumor mongering (§5): broadcasting a multi-block file.
+//!
+//! A 16-block message spreads over dating-service dates. Uncoded
+//! forwarding wastes transmissions on duplicate blocks (coupon-collector
+//! tail); RLNC over GF(256) makes nearly every reception innovative.
+//!
+//! Run: `cargo run --release --example coded_mongering`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendezvous::coding::{run_mongering, MongeringConfig, TransferMode};
+use rendezvous::prelude::*;
+
+fn main() {
+    let n = 300;
+    let platform = Platform::unit(n);
+    let selector = UniformSelector::new(n);
+    let config = MongeringConfig {
+        k: 16,
+        block_len: 64,
+        max_rounds: 100_000,
+    };
+
+    println!("broadcasting a {}-block file to {n} nodes over dating-service dates\n", config.k);
+    for (label, mode, seed) in [
+        ("uncoded (random block)", TransferMode::Uncoded, 1u64),
+        ("coded   (RLNC/GF256)  ", TransferMode::Coded, 1u64),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = run_mongering(&platform, &selector, NodeId(0), mode, config, &mut rng);
+        assert!(r.completed && r.decoded_ok);
+        println!(
+            "{label}: {:4} rounds, {:6} symbols sent, {:5} innovative ({:.1}% efficiency)",
+            r.rounds,
+            r.symbols_sent,
+            r.innovative,
+            100.0 * r.efficiency()
+        );
+    }
+    println!("\ncoding removes the coupon-collector tail — the [DMC06] effect the paper cites");
+}

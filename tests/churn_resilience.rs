@@ -1,0 +1,76 @@
+//! Churn resilience: the dating service is stateless across rounds, so
+//! crashed matchmakers only cost their in-flight requests — the property
+//! that §1 motivates ("dynamics of the networks, also node failures").
+
+use rendezvous::core::{verify_dates, DistributedDating, Platform, UniformSelector};
+use rendezvous::sim::{ChurnSchedule, Engine, EngineConfig, NodeId};
+
+fn run_with_churn(n: usize, cycles: u64, churn: ChurnSchedule, seed: u64) -> Vec<Vec<rendezvous::core::Date>> {
+    let platform = Platform::unit(n);
+    let protocol = DistributedDating::new(platform, UniformSelector::new(n), cycles);
+    let mut engine = Engine::new(
+        n,
+        protocol,
+        EngineConfig {
+            churn,
+            ..EngineConfig::seeded(seed)
+        },
+    );
+    engine.run_rounds(3 * cycles + 1);
+    engine.into_protocol().per_cycle_dates().to_vec()
+}
+
+#[test]
+fn dating_continues_through_crashes() {
+    let n = 200;
+    let cycles = 12u64;
+    // Crash 20 nodes over the first half of the run.
+    let mut churn = ChurnSchedule::none();
+    for i in 0..20u32 {
+        churn = churn.fail_at(i as u64, NodeId(i + 1));
+    }
+    let per_cycle = run_with_churn(n, cycles, churn, 1);
+    assert_eq!(per_cycle.len() as u64, cycles);
+    for (c, dates) in per_cycle.iter().enumerate() {
+        assert!(
+            dates.len() as f64 > 0.064 * (n as f64 - 25.0),
+            "cycle {c}: only {} dates under churn",
+            dates.len()
+        );
+    }
+    // Dates arranged after the crashes never involve dead matchmakers
+    // (dead nodes receive nothing, so they cannot matchmake).
+    let last = per_cycle.last().expect("cycles ran");
+    for d in last {
+        assert!(d.matchmaker.0 == 0 || d.matchmaker.0 > 20);
+    }
+}
+
+#[test]
+fn recovery_restores_full_throughput() {
+    let n = 150;
+    let cycles = 10u64;
+    // Node 1..=30 down for cycles 0-4, back for 5+ (engine rounds = 3×cycle).
+    let mut churn = ChurnSchedule::none();
+    for i in 1..=30u32 {
+        churn = churn.fail_at(0, NodeId(i)).recover_at(14, NodeId(i));
+    }
+    let per_cycle = run_with_churn(n, cycles, churn, 2);
+    let early: f64 = per_cycle[1..4].iter().map(|c| c.len() as f64).sum::<f64>() / 3.0;
+    let late: f64 = per_cycle[6..9].iter().map(|c| c.len() as f64).sum::<f64>() / 3.0;
+    assert!(
+        late > early,
+        "throughput should rise after recovery: early {early}, late {late}"
+    );
+}
+
+#[test]
+fn capacity_holds_under_churn() {
+    let n = 100;
+    let platform = Platform::unit(n);
+    let churn = ChurnSchedule::random_crashes(n, 15, 20, Some(NodeId(0)), 3);
+    let per_cycle = run_with_churn(n, 8, churn, 4);
+    for dates in &per_cycle {
+        verify_dates(&platform, dates).expect("capacity violated under churn");
+    }
+}

@@ -1,0 +1,103 @@
+//! §5 extensions end to end, including over DHT-based selection: coded
+//! mongering and storage exchange share the dating service as their only
+//! coordination mechanism.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendezvous::coding::{run_mongering, MongeringConfig, TransferMode};
+use rendezvous::dht::DhtSelector;
+use rendezvous::prelude::*;
+use rendezvous::storage::{crash_and_recover, run_exchange, StorageSystem};
+
+#[test]
+fn coded_mongering_over_dht_selector() {
+    let n = 150;
+    let platform = Platform::unit(n);
+    let selector = DhtSelector::random(n, 1);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let r = run_mongering(
+        &platform,
+        &selector,
+        NodeId(0),
+        TransferMode::Coded,
+        MongeringConfig {
+            k: 8,
+            block_len: 16,
+            max_rounds: 50_000,
+        },
+        &mut rng,
+    );
+    assert!(r.completed, "coded mongering over DHT stalled");
+    assert!(r.decoded_ok, "decoded data mismatched the source");
+}
+
+#[test]
+fn coded_beats_uncoded_round_count() {
+    let n = 120;
+    let k = 24;
+    let platform = Platform::unit(n);
+    let selector = UniformSelector::new(n);
+    let trials = 5;
+    let (mut coded, mut uncoded) = (0u64, 0u64);
+    for seed in 0..trials {
+        let cfg = MongeringConfig {
+            k,
+            block_len: 16,
+            max_rounds: 100_000,
+        };
+        let mut rng = SmallRng::seed_from_u64(10 + seed);
+        let c = run_mongering(&platform, &selector, NodeId(0), TransferMode::Coded, cfg, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(20 + seed);
+        let u = run_mongering(
+            &platform,
+            &selector,
+            NodeId(0),
+            TransferMode::Uncoded,
+            cfg,
+            &mut rng,
+        );
+        assert!(c.completed && u.completed);
+        coded += c.rounds;
+        uncoded += u.rounds;
+    }
+    assert!(
+        coded < uncoded,
+        "coding did not help: coded {coded} vs uncoded {uncoded}"
+    );
+}
+
+#[test]
+fn storage_exchange_over_dht_selector() {
+    let n = 100;
+    let mut sys = StorageSystem::uniform(n, 12, 2, 3);
+    let selector = DhtSelector::random(n, 3);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let build = run_exchange(&mut sys, &selector, 4, &mut rng, 100_000);
+    assert!(build.completed, "DHT-selected exchange stalled");
+    sys.check_invariants().expect("invariants");
+    // Skewed DHT selection must not break load limits (capacity is the
+    // hard bound; imbalance may be higher than uniform).
+    assert!(build.load_imbalance < 2.5, "imbalance {}", build.load_imbalance);
+}
+
+#[test]
+fn storage_survives_repeated_crash_cycles() {
+    let n = 80;
+    let mut sys = StorageSystem::uniform(n, 14, 2, 3);
+    let selector = UniformSelector::new(n);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let build = run_exchange(&mut sys, &selector, 4, &mut rng, 100_000);
+    assert!(build.completed);
+    for wave in 0..3 {
+        let r = crash_and_recover(&mut sys, &selector, 5, 4, &mut rng, 100_000);
+        assert!(r.restored, "wave {wave} failed to recover");
+        sys.check_invariants()
+            .unwrap_or_else(|e| panic!("wave {wave}: {e}"));
+        // Bring the crashed nodes back so later waves have victims.
+        for v in 0..n as u32 {
+            if !sys.is_online(NodeId(v)) {
+                sys.recover(NodeId(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The two implementations of Algorithm 1 — the fast oracle sampler and
+//! the real message-passing protocol — must produce identically
+//! distributed date counts, and both must respect capacity.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendezvous::core::{run_distributed, verify_dates};
+use rendezvous::prelude::*;
+use rendezvous::stats::ks_two_sample;
+
+fn oracle_samples(platform: &Platform, trials: usize, seed: u64) -> Vec<f64> {
+    let selector = UniformSelector::new(platform.n());
+    let svc = DatingService::new(platform, &selector);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ws = RoundWorkspace::new(platform.n());
+    (0..trials)
+        .map(|_| svc.run_round_with(&mut ws, &mut rng).date_count() as f64)
+        .collect()
+}
+
+fn distributed_samples(platform: &Platform, cycles: u64, seed: u64) -> Vec<f64> {
+    let r = run_distributed(
+        platform.clone(),
+        UniformSelector::new(platform.n()),
+        cycles,
+        seed,
+    );
+    r.dates_per_cycle.iter().map(|&d| d as f64).collect()
+}
+
+#[test]
+fn date_count_distributions_match_unit_platform() {
+    let platform = Platform::unit(300);
+    let a = oracle_samples(&platform, 400, 1);
+    let b = distributed_samples(&platform, 400, 2);
+    let r = ks_two_sample(&a, &b);
+    assert!(
+        r.accepts(0.001),
+        "oracle vs distributed diverge: D={:.4} p={:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn date_count_distributions_match_heterogeneous_platform() {
+    let platform = Platform::power_law(200, 1.0, 3.0, 9);
+    let a = oracle_samples(&platform, 400, 3);
+    let b = distributed_samples(&platform, 400, 4);
+    let r = ks_two_sample(&a, &b);
+    assert!(
+        r.accepts(0.001),
+        "heterogeneous: oracle vs distributed diverge: D={:.4} p={:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn both_forms_respect_capacity() {
+    let platform = Platform::power_law(150, 1.2, 4.0, 5);
+    let selector = UniformSelector::new(platform.n());
+
+    let svc = DatingService::new(&platform, &selector);
+    let mut rng = SmallRng::seed_from_u64(6);
+    for _ in 0..50 {
+        let out = svc.run_round(&mut rng);
+        verify_dates(&platform, &out.dates).expect("oracle violated capacity");
+    }
+
+    let r = run_distributed(platform.clone(), selector, 50, 7);
+    for dates in &r.per_cycle_dates {
+        verify_dates(&platform, dates).expect("distributed violated capacity");
+    }
+}
+
+#[test]
+fn distributed_transport_is_lossless() {
+    // Every arranged date's payload must arrive, every request answered.
+    let n = 250u64;
+    let cycles = 20u64;
+    let r = run_distributed(
+        Platform::unit(n as usize),
+        UniformSelector::new(n as usize),
+        cycles,
+        8,
+    );
+    let dates: u64 = r.dates_per_cycle.iter().sum();
+    assert_eq!(r.payloads_received, dates);
+    assert_eq!(r.answers_received, 2 * n * cycles);
+}
