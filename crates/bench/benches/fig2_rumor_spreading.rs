@@ -25,9 +25,7 @@ fn bench_rumor(c: &mut Criterion) {
 
         g.bench_with_input(BenchmarkId::new("push", n), &n, |b, _| {
             let mut rng = SmallRng::seed_from_u64(2);
-            b.iter(|| {
-                run_spread(&mut Push::new(), &platform, NodeId(0), &mut rng, 10_000).rounds
-            });
+            b.iter(|| run_spread(&mut Push::new(), &platform, NodeId(0), &mut rng, 10_000).rounds);
         });
 
         g.bench_with_input(BenchmarkId::new("push_fair_pull", n), &n, |b, _| {

@@ -1,0 +1,43 @@
+//! Runtime executor micro-benchmarks: the same dating workload driven by
+//! the sequential and sharded executors, so a regression in either the
+//! round core or the shard merge shows up as a relative shift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rendez_core::{Platform, UniformSelector};
+use rendez_runtime::{Executor, RunConfig, RuntimeDating, SequentialExecutor, ShardedExecutor};
+
+const CYCLES: u64 = 3;
+
+fn run_dating<E: Executor>(exec: &E, n: usize, seed: u64) -> u64 {
+    let mut proto = RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), CYCLES);
+    let rounds = proto.total_rounds();
+    exec.run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(rounds))
+        .expect_output()
+        .total_dates()
+}
+
+fn bench_runtime_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_round");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        // One unit of throughput = one node-cycle of dating work.
+        g.throughput(Throughput::Elements(CYCLES * n as u64));
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| run_dating(&SequentialExecutor, n, 1));
+        });
+        for shards in [4usize, 8] {
+            let exec = ShardedExecutor::new(shards);
+            g.bench_with_input(
+                BenchmarkId::new(&format!("sharded{shards}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| run_dating(&exec, n, 1));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_round);
+criterion_main!(benches);

@@ -11,8 +11,7 @@
 
 use rendez_bench::{table, CliArgs, Table};
 use rendez_core::{
-    analysis, AliasSelector, CountWorkspace, DatingService, NodeSelector, Platform,
-    UniformSelector,
+    analysis, AliasSelector, CountWorkspace, DatingService, NodeSelector, Platform, UniformSelector,
 };
 use rendez_dht::DhtSelector;
 use rendez_sim::run_trials;

@@ -23,7 +23,11 @@ fn main() {
     let ns = args.get_usize_list("n", &default_ns);
 
     println!("# Figure 1 — fraction of dates arranged by the dating service");
-    println!("# seed={seed} scale={} (uniform limit = {:.4})", args.scale(), analysis::uniform_ratio_limit());
+    println!(
+        "# seed={seed} scale={} (uniform limit = {:.4})",
+        args.scale(),
+        analysis::uniform_ratio_limit()
+    );
     let mut t = Table::new(
         vec![
             "n",

@@ -27,7 +27,13 @@ fn main() {
         analysis::BETA_PROVEN
     );
     let mut t = Table::new(
-        vec!["m/n", "measured", "poisson_pred", "exact_binomial", "above_0.064"],
+        vec![
+            "m/n",
+            "measured",
+            "poisson_pred",
+            "exact_binomial",
+            "above_0.064",
+        ],
         args.has("csv"),
     );
 

@@ -39,7 +39,13 @@ fn main() {
     );
 
     let mut t = Table::new(
-        vec!["t", "t/sqrt(m)", "empirical_tail", "mcdiarmid_bound", "bound_holds"],
+        vec![
+            "t",
+            "t/sqrt(m)",
+            "empirical_tail",
+            "mcdiarmid_bound",
+            "bound_holds",
+        ],
         args.has("csv"),
     );
     for scale in [0.5f64, 1.0, 1.5, 2.0, 3.0, 4.0] {

@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use rendez_bench::{table, CliArgs, Table};
 use rendez_core::{Platform, UniformSelector};
 use rendez_gossip::{
-    run_spread, DatingSpread, FairPushPull, FairPull, Pull, Push, PushPull, SpreadProtocol,
+    run_spread, DatingSpread, FairPull, FairPushPull, Pull, Push, PushPull, SpreadProtocol,
 };
 use rendez_sim::{run_trials, NodeId};
 use rendez_stats::RunningStats;
@@ -46,7 +46,16 @@ fn main() {
 
     println!("# message cost — rumor-carrying messages until full spread ({trials} trials)");
     let mut t = Table::new(
-        vec!["n", "push", "pull", "push-pull", "fair-pull", "push-fair-pull", "dating", "dating/nlogn"],
+        vec![
+            "n",
+            "push",
+            "pull",
+            "push-pull",
+            "fair-pull",
+            "push-fair-pull",
+            "dating",
+            "dating/nlogn",
+        ],
         args.has("csv"),
     );
 
@@ -58,8 +67,20 @@ fn main() {
             measure(Pull::new, &platform, trials, seed ^ 2, threads),
             measure(PushPull::new, &platform, trials, seed ^ 3, threads),
             measure(|| FairPull::new(n), &platform, trials, seed ^ 4, threads),
-            measure(|| FairPushPull::new(n), &platform, trials, seed ^ 5, threads),
-            measure(|| DatingSpread::new(&selector), &platform, trials, seed ^ 6, threads),
+            measure(
+                || FairPushPull::new(n),
+                &platform,
+                trials,
+                seed ^ 5,
+                threads,
+            ),
+            measure(
+                || DatingSpread::new(&selector),
+                &platform,
+                trials,
+                seed ^ 6,
+                threads,
+            ),
         ];
         let nlogn = n as f64 * (n as f64).ln();
         let mut row = vec![n.to_string()];

@@ -1,0 +1,90 @@
+//! Runtime scaling experiment: sequential vs sharded execution of the
+//! dating-service rumor spread at large `n`.
+//!
+//! Verifies the runtime's headline property end to end — the sharded
+//! executor is **reproducible** (same seed → identical round count, final
+//! informed set and per-round informed-set digest trace as the sequential
+//! reference) — while measuring the wall-clock speedup sharding buys.
+//!
+//! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
+//!         [--shards 2,4,8] [--csv]`
+//!
+//! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
+//! `n = 10⁴` for CI.
+
+use rendez_bench::{CliArgs, Table};
+use rendez_core::{Platform, UniformSelector};
+use rendez_runtime::{
+    Executor, RtDatingSpread, RunConfig, RunReport, SequentialExecutor, ShardedExecutor,
+    SpreadRunSummary,
+};
+use rendez_sim::NodeId;
+use std::time::Instant;
+
+fn spread_run<E: Executor>(exec: &E, n: usize, seed: u64) -> (RunReport<SpreadRunSummary>, f64) {
+    let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+    let start = Instant::now();
+    let report = exec.run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(10_000));
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let n = args.get_u64("n", if args.has("quick") { 10_000 } else { 100_000 }) as usize;
+    let seed = args.get_u64("seed", 0x5CA1E);
+    let shard_counts = args.get_usize_list("shards", &[2, 4, 8]);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("# Runtime scaling — dating-service rumor spread, sequential vs sharded");
+    println!("# n={n} seed={seed:#x} cores={cores}");
+
+    let mut t = Table::new(
+        vec![
+            "executor", "rounds", "informed", "wall_s", "speedup", "trace",
+        ],
+        args.has("csv"),
+    );
+
+    let (seq, seq_wall) = spread_run(&SequentialExecutor, n, seed);
+    let seq_out = seq.output.clone().expect("sequential run must complete");
+    t.row(vec![
+        "sequential".to_string(),
+        seq.rounds.to_string(),
+        seq_out.final_informed().to_string(),
+        format!("{seq_wall:.3}"),
+        "1.00".to_string(),
+        "reference".to_string(),
+    ]);
+
+    let mut all_identical = true;
+    for &shards in &shard_counts {
+        let exec = ShardedExecutor::new(shards);
+        let (sh, wall) = spread_run(&exec, n, seed);
+        let out = sh.output.clone().expect("sharded run must complete");
+        let identical = sh.rounds == seq.rounds
+            && sh.digests == seq.digests
+            && out.informed_history == seq_out.informed_history;
+        all_identical &= identical;
+        t.row(vec![
+            exec.name(),
+            sh.rounds.to_string(),
+            out.final_informed().to_string(),
+            format!("{wall:.3}"),
+            format!("{:.2}", seq_wall / wall),
+            if identical { "identical" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "# determinism: {}",
+        if all_identical {
+            "every sharded run reproduced the sequential informed-set trace bit-for-bit"
+        } else {
+            "FAILURE: executor traces diverged"
+        }
+    );
+    assert!(all_identical, "sharded executor diverged from sequential");
+}

@@ -23,7 +23,9 @@ fn main() {
     let net_bw = 4u32;
     let trials = args.scaled_trials(200, 10) as usize;
 
-    println!("# §5 storage — replication exchange then 10% crash recovery (n={n}, {trials} trials)");
+    println!(
+        "# §5 storage — replication exchange then 10% crash recovery (n={n}, {trials} trials)"
+    );
     let mut t = Table::new(
         vec![
             "replication",

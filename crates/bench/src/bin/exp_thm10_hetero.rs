@@ -13,9 +13,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rendez_bench::{table, CliArgs, Table};
 use rendez_core::{Platform, UniformSelector};
-use rendez_gossip::hetero::{
-    run_hetero_trial, strongest_node, theorem10_prediction, weakest_node,
-};
+use rendez_gossip::hetero::{run_hetero_trial, strongest_node, theorem10_prediction, weakest_node};
 use rendez_sim::run_trials;
 use rendez_stats::RunningStats;
 
@@ -53,10 +51,7 @@ fn main() {
             threads,
         );
 
-        for (label, avg) in [
-            ("log n", (n as f64).ln()),
-            ("sqrt n", (n as f64).sqrt()),
-        ] {
+        for (label, avg) in [("log n", (n as f64).ln()), ("sqrt n", (n as f64).sqrt())] {
             let platform = Platform::power_law(n, 1.1, avg, seed ^ (n as u64) << 4);
             let selector = UniformSelector::new(n);
             let m_over_n = platform.m() as f64 / platform.n() as f64;
@@ -71,10 +66,8 @@ fn main() {
                 assert!(out.avg_completed && out.all_completed);
                 (out.rounds_avg_nodes as f64, out.rounds_all as f64)
             });
-            let avg_rounds =
-                RunningStats::from_iter(outs.iter().map(|&(a, _)| a)).summary();
-            let all_rounds =
-                RunningStats::from_iter(outs.iter().map(|&(_, b)| b)).summary();
+            let avg_rounds = RunningStats::from_iter(outs.iter().map(|&(a, _)| a)).summary();
+            let all_rounds = RunningStats::from_iter(outs.iter().map(|&(_, b)| b)).summary();
             let bound = theorem10_prediction(n, m_over_n);
             t.row(vec![
                 n.to_string(),

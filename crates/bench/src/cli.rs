@@ -19,6 +19,7 @@ impl CliArgs {
     }
 
     /// Parse from an explicit token list (for tests).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut values = HashMap::new();
         let mut flags = Vec::new();
@@ -50,7 +51,10 @@ impl CliArgs {
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} wants an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} wants an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -58,7 +62,10 @@ impl CliArgs {
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} wants a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} wants a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 

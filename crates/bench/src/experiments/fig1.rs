@@ -56,13 +56,7 @@ pub struct DhtSweep {
 }
 
 /// Run the DHT sweep (parallel across DHTs).
-pub fn dht_sweep(
-    n: usize,
-    n_dhts: usize,
-    rounds: u64,
-    seed: u64,
-    threads: usize,
-) -> DhtSweep {
+pub fn dht_sweep(n: usize, n_dhts: usize, rounds: u64, seed: u64, threads: usize) -> DhtSweep {
     assert!(n_dhts >= 1, "need at least one DHT");
     let results = run_trials(n_dhts, seed, threads, |t| {
         let ring_seed = derive_seed(t.seed, 0xD47);

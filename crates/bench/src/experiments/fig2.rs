@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rendez_core::{Platform, UniformSelector};
-use rendez_gossip::{run_spread, DatingSpread, FairPushPull, FairPull, Pull, Push, PushPull};
+use rendez_gossip::{run_spread, DatingSpread, FairPull, FairPushPull, Pull, Push, PushPull};
 use rendez_sim::{run_trials, NodeId};
 use rendez_stats::{RunningStats, Summary};
 
@@ -60,12 +60,20 @@ pub fn rumor_point(algo: Algo, n: usize, trials: u64, seed: u64, threads: usize)
         let r = match algo {
             Algo::Push => run_spread(&mut Push::new(), &platform, source, &mut rng, max_rounds),
             Algo::Pull => run_spread(&mut Pull::new(), &platform, source, &mut rng, max_rounds),
-            Algo::PushPull => {
-                run_spread(&mut PushPull::new(), &platform, source, &mut rng, max_rounds)
-            }
-            Algo::FairPull => {
-                run_spread(&mut FairPull::new(n), &platform, source, &mut rng, max_rounds)
-            }
+            Algo::PushPull => run_spread(
+                &mut PushPull::new(),
+                &platform,
+                source,
+                &mut rng,
+                max_rounds,
+            ),
+            Algo::FairPull => run_spread(
+                &mut FairPull::new(n),
+                &platform,
+                source,
+                &mut rng,
+                max_rounds,
+            ),
             Algo::FairPushPull => run_spread(
                 &mut FairPushPull::new(n),
                 &platform,

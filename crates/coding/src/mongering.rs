@@ -314,7 +314,10 @@ mod tests {
         for w in r.completion_history.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        assert_eq!(r.completion_history[0], 1, "only the source starts complete");
+        assert_eq!(
+            r.completion_history[0], 1,
+            "only the source starts complete"
+        );
     }
 
     #[test]

@@ -1,0 +1,474 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment is fully vendored, so this crate re-implements the
+//! subset of the proptest API the workspace's `proptests.rs` suites use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, [`any`], `prop::collection::vec`, [`ProptestConfig`], and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the assertion
+//!   message (all our strategies generate `Debug`-printable values through
+//!   deterministic seeds) but is not minimized.
+//! * **Deterministic runs.** Cases derive from a fixed seed, so CI is
+//!   reproducible; set `PROPTEST_SEED` to explore a different stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
+
+/// Runner configuration: how many accepted cases to execute per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: generate a fresh case instead.
+    Reject(String),
+    /// `prop_assert*` failed: the property is violated.
+    Fail(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values for property inputs.
+///
+/// Unlike the real proptest there is no value tree: a strategy is just a
+/// seeded sampler (shrinking is out of scope for this stand-in).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (resampling up to a bound).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy (single-threaded; tests run case-by-case).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produce a clone of `value` (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The whole-type uniform strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy producing any value of `T` (uniform over the type's bits).
+pub fn any<T: Standard>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Element-count specification: an exact `usize` or a `usize` range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror so `prop::collection::vec(...)` reads as in the
+    //! real crate.
+    pub use super::collection;
+}
+
+pub mod prelude {
+    //! The imports property-test files start with.
+    pub use super::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Drive one property: generate cases until `config.cases` accepted runs
+/// have passed. Panics (failing the surrounding `#[test]`) on the first
+/// violated assertion.
+pub fn run_cases<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> TestCaseResult,
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or(0xC0FFEE),
+        Err(_) => 0xC0FFEE,
+    };
+    // Mix the property name in so sibling properties explore different
+    // streams even with the shared default seed.
+    let mut h: u64 = seed ^ 0x100_0000_01B3;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    let mut rng = SmallRng::seed_from_u64(h);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                let cap = 100 + 20 * config.cases as u64;
+                assert!(
+                    rejected <= cap,
+                    "property {name}: {rejected} rejections exceeded the cap of {cap}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed (case {accepted}, seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+/// Define deterministic property tests over strategy-drawn inputs.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional leading `#![proptest_config(...)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config, |prop_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::run_cases;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in prop::collection::vec((1u32..=4, 1u32..=4), 2..40)) {
+            prop_assert!(pairs.len() >= 2 && pairs.len() < 40);
+            for (a, b) in pairs {
+                prop_assert!((1..=4).contains(&a) && (1..=4).contains(&b));
+            }
+        }
+
+        #[test]
+        fn mapped_strategy_applies(x in arb_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_generates(x in any::<u64>(), b in any::<u8>()) {
+            // Nothing to assert beyond type soundness; touch the values.
+            let _ = x.wrapping_add(b as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_panic_with_context() {
+        run_cases(
+            "always_fails",
+            ProptestConfig::with_cases(1),
+            |_rng| -> TestCaseResult {
+                prop_assert!(false, "intentional");
+                Ok(())
+            },
+        );
+    }
+}

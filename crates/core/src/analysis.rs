@@ -280,10 +280,7 @@ mod tests {
         let zipf = rendez_stats::Zipf::new(n, 1.0).weights();
         let eu = expected_dates_weighted(&uniform, m, m);
         let ez = expected_dates_weighted(&zipf, m, m);
-        assert!(
-            ez > eu,
-            "zipf prediction {ez} should exceed uniform {eu}"
-        );
+        assert!(ez > eu, "zipf prediction {ez} should exceed uniform {eu}");
     }
 
     #[test]

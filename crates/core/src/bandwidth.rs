@@ -30,7 +30,10 @@ pub struct NodeCaps {
 impl NodeCaps {
     /// Symmetric capabilities `bin = bout = b`.
     pub fn symmetric(b: u32) -> Self {
-        Self { bw_in: b, bw_out: b }
+        Self {
+            bw_in: b,
+            bw_out: b,
+        }
     }
 
     /// The node's in/out imbalance `max(bin/bout, bout/bin)`.
@@ -234,9 +237,18 @@ mod tests {
     #[test]
     fn totals_and_m() {
         let p = Platform::new(vec![
-            NodeCaps { bw_in: 2, bw_out: 3 },
-            NodeCaps { bw_in: 1, bw_out: 1 },
-            NodeCaps { bw_in: 4, bw_out: 2 },
+            NodeCaps {
+                bw_in: 2,
+                bw_out: 3,
+            },
+            NodeCaps {
+                bw_in: 1,
+                bw_out: 1,
+            },
+            NodeCaps {
+                bw_in: 4,
+                bw_out: 2,
+            },
         ]);
         assert_eq!(p.total_in(), 7);
         assert_eq!(p.total_out(), 6);
@@ -257,8 +269,14 @@ mod tests {
     #[test]
     fn ratio_bound_detects_imbalance() {
         let p = Platform::new(vec![
-            NodeCaps { bw_in: 6, bw_out: 2 },
-            NodeCaps { bw_in: 1, bw_out: 1 },
+            NodeCaps {
+                bw_in: 6,
+                bw_out: 2,
+            },
+            NodeCaps {
+                bw_in: 1,
+                bw_out: 1,
+            },
         ]);
         assert!((p.ratio_bound() - 3.0).abs() < 1e-12);
         assert!(p.respects_ratio(3.0));
@@ -310,7 +328,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero bandwidth")]
     fn zero_bandwidth_rejected() {
-        let _ = Platform::new(vec![NodeCaps { bw_in: 0, bw_out: 1 }]);
+        let _ = Platform::new(vec![NodeCaps {
+            bw_in: 0,
+            bw_out: 1,
+        }]);
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub enum CapacityViolation {
 impl std::fmt::Display for CapacityViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CapacityViolation::SenderOverCommitted { node, dates, bw_out } => {
+            CapacityViolation::SenderOverCommitted {
+                node,
+                dates,
+                bw_out,
+            } => {
                 write!(f, "{node} is sender of {dates} dates but bout = {bw_out}")
             }
             CapacityViolation::ReceiverOverCommitted { node, dates, bw_in } => {
@@ -200,7 +204,10 @@ mod tests {
         let err = verify_dates(&p, &dates).unwrap_err();
         assert!(matches!(
             err,
-            CapacityViolation::ReceiverOverCommitted { node: NodeId(1), .. }
+            CapacityViolation::ReceiverOverCommitted {
+                node: NodeId(1),
+                ..
+            }
         ));
     }
 
@@ -231,9 +238,8 @@ mod tests {
                 let svc = DatingService::new(p, sel.as_ref());
                 for _ in 0..20 {
                     let out = svc.run_round(&mut rng);
-                    verify_dates(p, &out.dates).unwrap_or_else(|e| {
-                        panic!("capacity violated with {}: {e}", sel.name())
-                    });
+                    verify_dates(p, &out.dates)
+                        .unwrap_or_else(|e| panic!("capacity violated with {}: {e}", sel.name()));
                 }
             }
         }
@@ -271,7 +277,11 @@ mod tests {
         let sel = UniformSelector::new(n);
         let out = DatingService::new(&p, &sel).run_round(&mut rng);
         let s = date_loads(n, &out.dates).matchmaker_summary();
-        assert!(s.busy_nodes > n / 5, "load concentrated: {} busy", s.busy_nodes);
+        assert!(
+            s.busy_nodes > n / 5,
+            "load concentrated: {} busy",
+            s.busy_nodes
+        );
         assert!(s.max <= 8, "uniform max matchmaker load {} too high", s.max);
 
         let central = crate::selector::SingleTargetSelector::new(n, NodeId(9));

@@ -131,7 +131,13 @@ impl<S: NodeSelector> Protocol for DistributedDating<S> {
         }
     }
 
-    fn on_message(&mut self, node: NodeId, from: NodeId, msg: DatingMsg, ctx: &mut Ctx<'_, DatingMsg>) {
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: DatingMsg,
+        ctx: &mut Ctx<'_, DatingMsg>,
+    ) {
         match msg {
             DatingMsg::Offer => self.offers_inbox[node.index()].push(from),
             DatingMsg::Request => self.requests_inbox[node.index()].push(from),
@@ -281,8 +287,7 @@ mod tests {
             assert!(d as f64 > analysis::BETA_PROVEN * m, "cycle with {d} dates");
             assert!((d as f64) < m, "cannot exceed centralized optimum");
         }
-        let mean =
-            r.dates_per_cycle.iter().sum::<u64>() as f64 / r.dates_per_cycle.len() as f64;
+        let mean = r.dates_per_cycle.iter().sum::<u64>() as f64 / r.dates_per_cycle.len() as f64;
         assert!(
             (mean - predicted).abs() < 0.1 * predicted,
             "mean {mean} vs predicted {predicted}"
@@ -292,12 +297,7 @@ mod tests {
     #[test]
     fn capacity_respected_every_cycle() {
         let platform = Platform::power_law(120, 1.0, 3.0, 5);
-        let r = run_distributed(
-            platform.clone(),
-            UniformSelector::new(120),
-            6,
-            4,
-        );
+        let r = run_distributed(platform.clone(), UniformSelector::new(120), 6, 4);
         for dates in &r.per_cycle_dates {
             verify_dates(&platform, dates).expect("capacity violated");
         }

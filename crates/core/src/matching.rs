@@ -54,15 +54,16 @@ pub fn uniform_k_matching(
     k: usize,
     rng: &mut SmallRng,
 ) -> Vec<(u32, u32)> {
-    assert!(
-        k <= left.min(right),
-        "k={k} exceeds min({left}, {right})"
-    );
+    assert!(k <= left.min(right), "k={k} exceeds min({left}, {right})");
     let mut ls: Vec<u32> = (0..left as u32).collect();
     let mut rs: Vec<u32> = (0..right as u32).collect();
     partial_shuffle(&mut ls, k, rng);
     partial_shuffle(&mut rs, k, rng);
-    ls[..k].iter().copied().zip(rs[..k].iter().copied()).collect()
+    ls[..k]
+        .iter()
+        .copied()
+        .zip(rs[..k].iter().copied())
+        .collect()
 }
 
 /// Canonical form of a `k`-matching for frequency counting: pairs sorted by
@@ -93,12 +94,9 @@ mod tests {
             *counts.entry(subset).or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 6);
-        for (&ref sub, &c) in &counts {
+        for (sub, &c) in &counts {
             let f = c as f64 / trials as f64;
-            assert!(
-                (f - 1.0 / 6.0).abs() < 0.01,
-                "subset {sub:?} frequency {f}"
-            );
+            assert!((f - 1.0 / 6.0).abs() < 0.01, "subset {sub:?} frequency {f}");
         }
     }
 

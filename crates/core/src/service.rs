@@ -185,7 +185,6 @@ impl<'a, S: NodeSelector + ?Sized> DatingService<'a, S> {
             .map(|&v| counts.offers[v as usize].min(counts.requests[v as usize]) as u64)
             .sum()
     }
-
 }
 
 /// Run one dating round with arbitrary per-node offer/request counts.
@@ -374,9 +373,18 @@ mod tests {
     #[test]
     fn heterogeneous_platform_respects_multiplicity() {
         let p = Platform::new(vec![
-            crate::bandwidth::NodeCaps { bw_in: 3, bw_out: 1 },
-            crate::bandwidth::NodeCaps { bw_in: 1, bw_out: 3 },
-            crate::bandwidth::NodeCaps { bw_in: 2, bw_out: 2 },
+            crate::bandwidth::NodeCaps {
+                bw_in: 3,
+                bw_out: 1,
+            },
+            crate::bandwidth::NodeCaps {
+                bw_in: 1,
+                bw_out: 3,
+            },
+            crate::bandwidth::NodeCaps {
+                bw_in: 2,
+                bw_out: 2,
+            },
         ]);
         let sel = UniformSelector::new(3);
         let svc = DatingService::new(&p, &sel);

@@ -114,7 +114,7 @@ impl ChordNet {
                 continue;
             }
             let d = Ring::cw_distance(p, self.ring.position(f));
-            if d > 0 && d <= target_dist && best.map_or(true, |(bd, _)| d > bd) {
+            if d > 0 && d <= target_dist && best.is_none_or(|(bd, _)| d > bd) {
                 best = Some((d, f));
             }
         }
@@ -276,7 +276,10 @@ mod tests {
             let r = c.route(src, key);
             assert_eq!(r.owner, c.ring().owner(key));
         }
-        assert!(c.finger_staleness() > 0.0, "join should leave stale fingers");
+        assert!(
+            c.finger_staleness() > 0.0,
+            "join should leave stale fingers"
+        );
     }
 
     #[test]

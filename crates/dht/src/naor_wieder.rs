@@ -133,14 +133,8 @@ mod tests {
             let net = NaorWiederNet::new(Ring::random(n, 3), 3);
             let (mean, max) = net.lookup_hops(300, 4);
             let log2n = (n as f64).log2();
-            assert!(
-                mean <= log2n + 6.0,
-                "n={n}: mean {mean} vs log2 n {log2n}"
-            );
-            assert!(
-                (max as f64) <= 2.5 * log2n + 16.0,
-                "n={n}: max {max}"
-            );
+            assert!(mean <= log2n + 6.0, "n={n}: mean {mean} vs log2 n {log2n}");
+            assert!((max as f64) <= 2.5 * log2n + 16.0, "n={n}: max {max}");
         }
     }
 

@@ -168,10 +168,7 @@ impl Ring {
             !self.positions.contains(&position),
             "position {position} occupied"
         );
-        assert!(
-            !self.ids.contains(&id),
-            "node {id} already on the ring"
-        );
+        assert!(!self.ids.contains(&id), "node {id} already on the ring");
         let mut pairs: Vec<(u64, NodeId)> = self
             .positions
             .iter()
@@ -206,11 +203,7 @@ mod tests {
 
     fn tiny_ring() -> Ring {
         // Positions 10, 20, 30 for nodes 0, 1, 2.
-        Ring::from_positions(vec![
-            (10, NodeId(0)),
-            (20, NodeId(1)),
-            (30, NodeId(2)),
-        ])
+        Ring::from_positions(vec![(10, NodeId(0)), (20, NodeId(1)), (30, NodeId(2))])
     }
 
     #[test]
@@ -277,10 +270,10 @@ mod tests {
             let mut max: Option<(u64, NodeId)> = None;
             for &id in r.ids_in_ring_order() {
                 let p = r.position(id);
-                if p <= x && best.map_or(true, |(bp, _)| p > bp) {
+                if p <= x && best.is_none_or(|(bp, _)| p > bp) {
                     best = Some((p, id));
                 }
-                if max.map_or(true, |(mp, _)| p > mp) {
+                if max.is_none_or(|(mp, _)| p > mp) {
                     max = Some((p, id));
                 }
             }

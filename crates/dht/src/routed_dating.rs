@@ -102,7 +102,7 @@ impl RoutedDating {
     pub fn makespan(&self) -> Option<u64> {
         self.cycle_payload_round
             .iter()
-            .map(|r| *r)
+            .copied()
             .collect::<Option<Vec<u64>>>()
             .map(|rs| rs.into_iter().max().unwrap_or(0))
     }
@@ -146,7 +146,7 @@ impl RoutedDating {
                 continue;
             }
             let d = ring.position(f).wrapping_sub(p);
-            if d > 0 && d <= target_dist && best.map_or(true, |(bd, _)| d > bd) {
+            if d > 0 && d <= target_dist && best.is_none_or(|(bd, _)| d > bd) {
                 best = Some((d, f));
             }
         }
@@ -198,7 +198,13 @@ impl Protocol for RoutedDating {
         self.next_cycle[i] = cycle + 1;
     }
 
-    fn on_message(&mut self, node: NodeId, _from: NodeId, msg: RoutedMsg, ctx: &mut Ctx<'_, RoutedMsg>) {
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: RoutedMsg,
+        ctx: &mut Ctx<'_, RoutedMsg>,
+    ) {
         match msg {
             RoutedMsg::Routed { .. } => self.forward(node, msg, ctx),
             RoutedMsg::Answer { cycle, partner } => {
@@ -209,7 +215,7 @@ impl Protocol for RoutedDating {
                     let slot = &mut self.cycle_payload_round[cycle as usize];
                     // Payload lands next round.
                     let when = ctx.round() + 1;
-                    if slot.map_or(true, |r| r > when) {
+                    if slot.is_none_or(|r| r > when) {
                         *slot = Some(when);
                     }
                 }
@@ -263,7 +269,13 @@ impl Protocol for RoutedDating {
                 );
             }
             for &o in &os[q..] {
-                ctx.send(o, RoutedMsg::Answer { cycle, partner: None });
+                ctx.send(
+                    o,
+                    RoutedMsg::Answer {
+                        cycle,
+                        partner: None,
+                    },
+                );
             }
             // Unmatched requests receive no answer in this simplified
             // accounting (only offers gate the sequential mode).

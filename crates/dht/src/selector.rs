@@ -93,7 +93,7 @@ mod tests {
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let mut rng = SmallRng::seed_from_u64(2);
         let draws = 200_000;
-        let mut counts = vec![0u64; 20];
+        let mut counts = [0u64; 20];
         for _ in 0..draws {
             counts[sel.select(&mut rng).index()] += 1;
         }

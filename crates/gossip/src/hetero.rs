@@ -68,9 +68,7 @@ pub fn run_hetero_trial<S: NodeSelector + ?Sized>(
     let mut rounds_avg: Option<u64> = None;
     let result: SpreadResult =
         run_spread_until(&mut proto, platform, source, rng, max_rounds, |st| {
-            if rounds_avg.is_none()
-                && avg_nodes.iter().all(|&v| st.informed.contains(v))
-            {
+            if rounds_avg.is_none() && avg_nodes.iter().all(|&v| st.informed.contains(v)) {
                 rounds_avg = Some(st.round);
             }
             st.complete()

@@ -40,7 +40,7 @@ pub mod termination;
 pub use informed::InformedSet;
 pub use phases::{phase_breakdown, PhaseBreakdown};
 pub use protocols::{
-    DatingSpread, FairPushPull, FairPull, LossyDating, Pull, Push, PushPull, SpreadProtocol,
+    DatingSpread, FairPull, FairPushPull, LossyDating, Pull, Push, PushPull, SpreadProtocol,
     SpreadState,
 };
 pub use spread::{run_spread, run_spread_until, SpreadResult};

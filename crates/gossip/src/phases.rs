@@ -35,7 +35,10 @@ impl PhaseBreakdown {
 /// the Theorem 4 phases for a platform with total bandwidth `m` and `n`
 /// nodes. Phases that never complete are charged all remaining rounds.
 pub fn phase_breakdown(it_history: &[u64], m: u64, n: usize) -> PhaseBreakdown {
-    assert!(!it_history.is_empty(), "history must include the initial state");
+    assert!(
+        !it_history.is_empty(),
+        "history must include the initial state"
+    );
     let rounds = (it_history.len() - 1) as u64;
     let thr1 = ((m as f64 / n as f64).max((n as f64).ln())).ceil() as u64;
     let thr2 = m / 2;

@@ -88,8 +88,14 @@ mod tests {
             }
             fp_only += r;
         }
-        assert!(fpp < push_only, "combo ({fpp}) must beat push ({push_only})");
-        assert!(fpp < fp_only, "combo ({fpp}) must beat fair pull ({fp_only})");
+        assert!(
+            fpp < push_only,
+            "combo ({fpp}) must beat push ({push_only})"
+        );
+        assert!(
+            fpp < fp_only,
+            "combo ({fpp}) must beat fair pull ({fp_only})"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl<'a, S: NodeSelector + ?Sized> LossyDating<'a, S> {
     /// # Panics
     /// Panics unless `0 ≤ loss < 1`.
     pub fn new(selector: &'a S, loss: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss must be in [0,1), got {loss}"
+        );
         Self {
             selector,
             loss,

@@ -55,7 +55,10 @@ mod tests {
         let mut prev = 1;
         for _ in 0..20 {
             p.step(&mut st, &mut rng);
-            assert!(st.informed.count() <= 2 * prev, "push cannot more than double");
+            assert!(
+                st.informed.count() <= 2 * prev,
+                "push cannot more than double"
+            );
             prev = st.informed.count();
         }
     }

@@ -37,9 +37,7 @@ pub fn run_spread<P: SpreadProtocol + ?Sized>(
     rng: &mut SmallRng,
     max_rounds: u64,
 ) -> SpreadResult {
-    run_spread_until(proto, platform, source, rng, max_rounds, |st| {
-        st.complete()
-    })
+    run_spread_until(proto, platform, source, rng, max_rounds, |st| st.complete())
 }
 
 /// Run `proto` from `source` until `stop(state)` holds (checked after
@@ -105,7 +103,7 @@ mod tests {
 
     #[test]
     fn round_cap_reported() {
-        let platform = Platform::unit(100_0);
+        let platform = Platform::unit(1_000);
         let mut rng = SmallRng::seed_from_u64(2);
         let mut p = Push::new();
         let r = run_spread(&mut p, &platform, NodeId(0), &mut rng, 2);

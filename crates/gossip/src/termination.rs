@@ -56,9 +56,8 @@ pub fn run_terminating_spread<S: NodeSelector + ?Sized>(
     while rounds < max_rounds {
         // Active senders: informed, not withdrawn. Receivers: everyone
         // (requests are cheap and uninformed nodes must keep pulling).
-        let active = |v: NodeId| -> bool {
-            informed.contains(v) && fruitless[v.index()] < patience
-        };
+        let active =
+            |v: NodeId| -> bool { informed.contains(v) && fruitless[v.index()] < patience };
         let any_active = (0..n).any(|i| active(NodeId::from_index(i)));
         if !any_active {
             break;
@@ -129,7 +128,8 @@ pub fn residual_risk<S: NodeSelector + ?Sized>(
     let mut failures = 0u64;
     for t in 0..trials {
         let mut rng = SmallRng::seed_from_u64(base_seed ^ t.wrapping_mul(0x9E37_79B9));
-        let r = run_terminating_spread(platform, selector, NodeId(0), patience, &mut rng, 1_000_000);
+        let r =
+            run_terminating_spread(platform, selector, NodeId(0), patience, &mut rng, 1_000_000);
         if !r.complete {
             failures += 1;
         }
@@ -150,8 +150,13 @@ mod tests {
         let selector = UniformSelector::new(n);
         for seed in 0..10u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let r = run_terminating_spread(&platform, &selector, NodeId(0), 64, &mut rng, 1_000_000);
-            assert!(r.complete, "seed {seed}: quiesced at {}", r.informed_at_quiescence);
+            let r =
+                run_terminating_spread(&platform, &selector, NodeId(0), 64, &mut rng, 1_000_000);
+            assert!(
+                r.complete,
+                "seed {seed}: quiesced at {}",
+                r.informed_at_quiescence
+            );
         }
     }
 

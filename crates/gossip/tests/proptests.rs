@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use rendez_core::{Platform, UniformSelector};
 use rendez_gossip::phases::phase_breakdown;
 use rendez_gossip::{
-    run_spread, DatingSpread, FairPushPull, FairPull, Pull, Push, PushPull, SpreadProtocol,
+    run_spread, DatingSpread, FairPull, FairPushPull, Pull, Push, PushPull, SpreadProtocol,
     SpreadState,
 };
 use rendez_sim::NodeId;

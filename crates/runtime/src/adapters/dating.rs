@@ -1,0 +1,314 @@
+//! Algorithm 1 — the distributed dating service, hosted on the runtime.
+//!
+//! Same 3-round cycle as `rendez_core::distributed::DistributedDating`
+//! (and the same wire messages — [`DatingMsg`] is reused):
+//!
+//! ```text
+//! phase 0: every node sends bout(i) Offer and bin(i) Request messages
+//! phase 1: matchmakers keep a uniform min(s, r) of each side at round
+//!          end, match them uniformly, and answer every originator
+//! phase 2: matched senders receive their partner and ship the payload
+//! ```
+//!
+//! The difference is structural: state lives per node, so the protocol
+//! runs unchanged on the sequential, sharded and conditioned executors.
+//! `oracle_vs_distributed`-style equivalence is asserted in
+//! `tests/runtime_equivalence.rs` via the same KS harness.
+
+use crate::proto::{Outbox, RoundProtocol, Verdict};
+use rand::rngs::SmallRng;
+use rendez_core::distributed::{DatingMsg, PAYLOAD_BYTES};
+use rendez_core::matching::partial_shuffle;
+use rendez_core::overhead::ADDRESS_BYTES;
+use rendez_core::{NodeSelector, Platform};
+use rendez_sim::{NodeId, SplitMix64};
+
+/// The dating service as a runtime protocol.
+pub struct RuntimeDating<S: NodeSelector> {
+    platform: Platform,
+    selector: S,
+    max_cycles: u64,
+}
+
+impl<S: NodeSelector> RuntimeDating<S> {
+    /// Dating for `max_cycles` cycles on `platform` with `selector`.
+    ///
+    /// # Panics
+    /// Panics if the selector universe differs from the platform size.
+    pub fn new(platform: Platform, selector: S, max_cycles: u64) -> Self {
+        assert_eq!(
+            platform.n(),
+            selector.n(),
+            "selector universe must match platform size"
+        );
+        Self {
+            platform,
+            selector,
+            max_cycles,
+        }
+    }
+
+    /// The platform this service runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Engine rounds a full run occupies (3 per cycle + payload landing).
+    pub fn total_rounds(&self) -> u64 {
+        3 * self.max_cycles + 1
+    }
+
+    fn cycle_of(round: u64) -> u64 {
+        round / 3
+    }
+
+    fn phase_of(round: u64) -> u64 {
+        round % 3
+    }
+}
+
+/// Per-node dating state.
+#[derive(Debug, Default)]
+pub struct DatingNode {
+    offers_inbox: Vec<NodeId>,
+    requests_inbox: Vec<NodeId>,
+    /// Dates this node arranged, indexed by cycle.
+    dates_per_cycle: Vec<u64>,
+    payloads_received: u64,
+    answers_received: u64,
+}
+
+/// Aggregate outcome of a runtime-hosted dating run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatingRunSummary {
+    /// Dates arranged in each cycle (summed over matchmakers).
+    pub dates_per_cycle: Vec<u64>,
+    /// Payload messages delivered end-to-end.
+    pub payloads_received: u64,
+    /// Answers delivered to originators.
+    pub answers_received: u64,
+}
+
+impl DatingRunSummary {
+    /// Total dates across all cycles.
+    pub fn total_dates(&self) -> u64 {
+        self.dates_per_cycle.iter().sum()
+    }
+}
+
+impl<S: NodeSelector> RoundProtocol for RuntimeDating<S> {
+    type Node = DatingNode;
+    type Msg = DatingMsg;
+    type Output = DatingRunSummary;
+
+    fn init_node(&self, _id: NodeId, _rng: &mut SmallRng) -> DatingNode {
+        DatingNode::default()
+    }
+
+    fn on_round_start(
+        &self,
+        _node: &mut DatingNode,
+        id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingMsg>,
+    ) {
+        if Self::phase_of(round) != 0 || Self::cycle_of(round) >= self.max_cycles {
+            return;
+        }
+        let caps = self.platform.caps(id);
+        for _ in 0..caps.bw_out {
+            let dst = self.selector.select(rng);
+            out.send(dst, DatingMsg::Offer);
+        }
+        for _ in 0..caps.bw_in {
+            let dst = self.selector.select(rng);
+            out.send(dst, DatingMsg::Request);
+        }
+    }
+
+    fn on_message(
+        &self,
+        node: &mut DatingNode,
+        _id: NodeId,
+        from: NodeId,
+        msg: DatingMsg,
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingMsg>,
+    ) {
+        match msg {
+            DatingMsg::Offer => node.offers_inbox.push(from),
+            DatingMsg::Request => node.requests_inbox.push(from),
+            DatingMsg::AnswerOffer(partner) => {
+                node.answers_received += 1;
+                if let Some(p) = partner {
+                    out.send(p, DatingMsg::Payload);
+                }
+            }
+            DatingMsg::AnswerRequest(_) => {
+                node.answers_received += 1;
+            }
+            DatingMsg::Payload => {
+                node.payloads_received += 1;
+            }
+        }
+    }
+
+    fn on_round_end(
+        &self,
+        node: &mut DatingNode,
+        _id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingMsg>,
+    ) {
+        if Self::phase_of(round) != 1 {
+            return;
+        }
+        let cycle = Self::cycle_of(round) as usize;
+        while node.dates_per_cycle.len() <= cycle {
+            node.dates_per_cycle.push(0);
+        }
+        let offers = &mut node.offers_inbox;
+        let requests = &mut node.requests_inbox;
+        let q = offers.len().min(requests.len());
+        // Uniform q-subsets in uniform order → positional pairing is a
+        // uniform random perfect matching (identical to the oracle form).
+        partial_shuffle(offers, q, rng);
+        partial_shuffle(requests, q, rng);
+        node.dates_per_cycle[cycle] += q as u64;
+        for j in 0..q {
+            out.send(offers[j], DatingMsg::AnswerOffer(Some(requests[j])));
+            out.send(requests[j], DatingMsg::AnswerRequest(Some(offers[j])));
+        }
+        for &o in &offers[q..] {
+            out.send(o, DatingMsg::AnswerOffer(None));
+        }
+        for &r in &requests[q..] {
+            out.send(r, DatingMsg::AnswerRequest(None));
+        }
+        offers.clear();
+        requests.clear();
+    }
+
+    fn finalize(&mut self, nodes: &[DatingNode], round: u64) -> Verdict<DatingRunSummary> {
+        if round + 1 < self.total_rounds() {
+            return Verdict::Continue;
+        }
+        let cycles = self.max_cycles as usize;
+        let mut dates_per_cycle = vec![0u64; cycles];
+        let mut payloads_received = 0u64;
+        let mut answers_received = 0u64;
+        for node in nodes {
+            for (c, &d) in node.dates_per_cycle.iter().enumerate() {
+                if c < cycles {
+                    dates_per_cycle[c] += d;
+                }
+            }
+            payloads_received += node.payloads_received;
+            answers_received += node.answers_received;
+        }
+        Verdict::Halt(DatingRunSummary {
+            dates_per_cycle,
+            payloads_received,
+            answers_received,
+        })
+    }
+
+    fn digest(&self, nodes: &[DatingNode], round: u64) -> u64 {
+        let mut h = SplitMix64::mix(round ^ 0xDA71);
+        for node in nodes {
+            let local: u64 = node.dates_per_cycle.iter().sum::<u64>()
+                ^ (node.payloads_received << 20)
+                ^ (node.answers_received << 40);
+            h = SplitMix64::mix(h ^ local);
+        }
+        h
+    }
+
+    fn msg_bytes(&self, msg: &DatingMsg) -> usize {
+        match msg {
+            DatingMsg::Payload => PAYLOAD_BYTES,
+            _ => ADDRESS_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Executor, SequentialExecutor, ShardedExecutor};
+    use crate::report::RunConfig;
+    use rendez_core::UniformSelector;
+
+    fn run(n: usize, cycles: u64, seed: u64) -> DatingRunSummary {
+        let mut proto = RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), cycles);
+        let rounds = proto.total_rounds();
+        SequentialExecutor
+            .run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(rounds))
+            .expect_output()
+    }
+
+    #[test]
+    fn every_payload_lands() {
+        let r = run(100, 5, 1);
+        assert_eq!(r.dates_per_cycle.len(), 5);
+        assert_eq!(r.payloads_received, r.total_dates());
+    }
+
+    #[test]
+    fn every_request_is_answered() {
+        let n = 80u64;
+        let cycles = 4u64;
+        let r = run(n as usize, cycles, 2);
+        assert_eq!(r.answers_received, 2 * n * cycles);
+    }
+
+    #[test]
+    fn date_counts_in_expected_range() {
+        let n = 500;
+        let r = run(n, 10, 3);
+        let m = n as f64;
+        for &d in &r.dates_per_cycle {
+            assert!(d as f64 > 0.3 * m, "cycle with only {d} dates");
+            assert!((d as f64) < m, "cannot exceed centralized optimum");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_identical() {
+        let n = 300;
+        let mk = || RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), 6);
+        let cfg = RunConfig::seeded(9).max_rounds(mk().total_rounds());
+        let mut a = mk();
+        let seq = SequentialExecutor.run(&mut a, n, &cfg);
+        for shards in [2, 7] {
+            let mut b = mk();
+            let sh = ShardedExecutor::new(shards).run(&mut b, n, &cfg);
+            assert_eq!(seq.digests, sh.digests, "shards={shards}");
+            assert_eq!(seq.output, sh.output, "shards={shards}");
+            assert_eq!(seq.stats, sh.stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn zero_cycles_is_quiet() {
+        let r = run(10, 0, 7);
+        assert!(r.dates_per_cycle.is_empty());
+        assert_eq!(r.payloads_received, 0);
+    }
+
+    #[test]
+    fn heterogeneous_platform_works() {
+        let platform = Platform::power_law(120, 1.0, 3.0, 5);
+        let mut proto = RuntimeDating::new(platform, UniformSelector::new(120), 6);
+        let rounds = proto.total_rounds();
+        let r = SequentialExecutor
+            .run(&mut proto, 120, &RunConfig::seeded(4).max_rounds(rounds))
+            .expect_output();
+        assert_eq!(r.dates_per_cycle.len(), 6);
+        assert!(r.total_dates() > 0);
+        assert_eq!(r.payloads_received, r.total_dates());
+    }
+}

@@ -1,0 +1,21 @@
+//! Adapters hosting the workspace's existing protocols on the runtime.
+//!
+//! The legacy `rendez_sim::Protocol` trait stores **all** node state in
+//! one object, which is simple but unshardable. These adapters re-express
+//! the same protocols as per-node [`RoundProtocol`](crate::RoundProtocol)
+//! state machines so any executor — sequential, sharded, conditioned —
+//! can run them. The legacy engine path keeps working untouched; the
+//! integration tests pin the adapters to it statistically (same date-count
+//! distribution as the oracle, O(log n) spreading).
+//!
+//! Ported so far: the distributed dating service ([`RuntimeDating`]), the
+//! dating-based rumor spreader ([`RtDatingSpread`]) and the PUSH&PULL
+//! baseline ([`RtPushPull`]). The remaining Figure-2 baselines (push,
+//! pull, fair pull, fair push&pull, lossy dating) are listed as an open
+//! item in ROADMAP.md.
+
+mod dating;
+mod spread;
+
+pub use dating::{DatingRunSummary, RuntimeDating};
+pub use spread::{RtDatingSpread, RtPushPull, SpreadNode, SpreadRunSummary};

@@ -1,0 +1,465 @@
+//! Rumor spreading hosted on the runtime: the dating-service spreader and
+//! the PUSH&PULL baseline, as true message-passing protocols.
+//!
+//! The `rendez_gossip` implementations sample each round's communication
+//! centrally; these adapters exchange real messages, so they run on every
+//! executor and degrade gracefully under conditioning (loss, latency).
+//! Round semantics follow the Figure-2 convention: informs received in a
+//! round are buffered (`pending`) and applied at the next round start, so
+//! every decision reads the informed set as of round start.
+
+use crate::proto::{Outbox, RoundProtocol, Verdict};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rendez_core::distributed::PAYLOAD_BYTES;
+use rendez_core::matching::partial_shuffle;
+use rendez_core::overhead::ADDRESS_BYTES;
+use rendez_core::{NodeSelector, Platform};
+use rendez_sim::{NodeId, SplitMix64};
+
+/// Per-node rumor state shared by the spread adapters.
+#[derive(Debug, Default)]
+pub struct SpreadNode {
+    /// Informed as of the current round's start.
+    pub informed: bool,
+    /// Informed mid-round; becomes `informed` at the next round start.
+    pub pending: bool,
+    offers_inbox: Vec<NodeId>,
+    requests_inbox: Vec<NodeId>,
+}
+
+impl SpreadNode {
+    /// Counts as informed for completion purposes.
+    fn knows(&self) -> bool {
+        self.informed || self.pending
+    }
+}
+
+/// What a spreading run reports on completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpreadRunSummary {
+    /// Rounds executed (for the dating spreader: engine rounds, 3/cycle).
+    pub rounds: u64,
+    /// Informed-node counts; entry `t` is the state after `t` rounds
+    /// (entry 0 is the initial single-source state).
+    pub informed_history: Vec<u64>,
+}
+
+impl SpreadRunSummary {
+    /// Final informed count.
+    pub fn final_informed(&self) -> u64 {
+        *self.informed_history.last().expect("history non-empty")
+    }
+}
+
+fn informed_count(nodes: &[SpreadNode]) -> u64 {
+    nodes.iter().filter(|v| v.knows()).count() as u64
+}
+
+fn informed_digest(nodes: &[SpreadNode], round: u64) -> u64 {
+    let mut h = SplitMix64::mix(round ^ 0x5EED);
+    for (i, v) in nodes.iter().enumerate() {
+        if v.knows() {
+            h = SplitMix64::mix(h ^ i as u64);
+        }
+    }
+    h
+}
+
+/// PUSH&PULL over explicit messages.
+///
+/// Per round every informed node pushes the rumor to a uniform target and
+/// every uninformed node sends a pull request to a uniform target; an
+/// informed target answers every pull request addressed to it. Unlike the
+/// centralized baseline, a pull answer takes one round to travel — the
+/// price of being a real protocol — so round counts are a constant factor
+/// above `rendez_gossip::PushPull`, not identical.
+pub struct RtPushPull {
+    n: usize,
+    source: NodeId,
+    history: Vec<u64>,
+}
+
+/// Messages of [`RtPushPull`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMsg {
+    /// The rumor itself (push transmission or pull answer).
+    Rumor,
+    /// "Send me the rumor if you have it."
+    PullRequest,
+}
+
+impl RtPushPull {
+    /// PUSH&PULL over `n` nodes from `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn new(n: usize, source: NodeId) -> Self {
+        assert!(source.index() < n, "source out of range");
+        Self {
+            n,
+            source,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl RoundProtocol for RtPushPull {
+    type Node = SpreadNode;
+    type Msg = GossipMsg;
+    type Output = SpreadRunSummary;
+
+    fn init_node(&self, id: NodeId, _rng: &mut SmallRng) -> SpreadNode {
+        SpreadNode {
+            informed: id == self.source,
+            ..SpreadNode::default()
+        }
+    }
+
+    fn on_round_start(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        _round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        node.informed |= std::mem::take(&mut node.pending);
+        let target = NodeId(rng.gen_range(0..self.n as u32));
+        if node.informed {
+            out.send(target, GossipMsg::Rumor);
+        } else {
+            out.send(target, GossipMsg::PullRequest);
+        }
+    }
+
+    fn on_message(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        from: NodeId,
+        msg: GossipMsg,
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        match msg {
+            GossipMsg::Rumor => node.pending = true,
+            // Answer from round-start knowledge only: `informed` cannot
+            // change mid-round, so delivery order within the round does
+            // not leak information.
+            GossipMsg::PullRequest => {
+                if node.informed {
+                    out.send(from, GossipMsg::Rumor);
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
+        if self.history.is_empty() {
+            self.history.push(1);
+        }
+        let count = informed_count(nodes);
+        self.history.push(count);
+        if count == nodes.len() as u64 {
+            Verdict::Halt(SpreadRunSummary {
+                rounds: round + 1,
+                informed_history: std::mem::take(&mut self.history),
+            })
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
+        informed_digest(nodes, round)
+    }
+}
+
+/// Rumor spreading via the dating service, as a message-passing protocol.
+///
+/// Runs the full 3-phase dating cycle of
+/// [`RuntimeDating`](crate::RuntimeDating); payloads carry a flag saying
+/// whether the sender was informed, and an informative payload informs its
+/// receiver (§3: "the rumor spreading scheme is given by the dating
+/// service algorithm"). Nodes never adapt offers/requests to rumor state.
+pub struct RtDatingSpread<S: NodeSelector> {
+    platform: Platform,
+    selector: S,
+    source: NodeId,
+    history: Vec<u64>,
+}
+
+/// Messages of [`RtDatingSpread`] — dating control plus a rumor-carrying
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatingSpreadMsg {
+    /// "Request for sending": the origin offers one outgoing unit.
+    Offer,
+    /// "Request for receiving": the origin wants one incoming unit.
+    Request,
+    /// Answer to an offer: the partner to send to, or `None`.
+    AnswerOffer(Option<NodeId>),
+    /// Answer to a request (spreading ignores it; kept for fidelity).
+    AnswerRequest(Option<NodeId>),
+    /// The unit payload; `informed` is the sender's rumor state.
+    Payload {
+        /// Whether the payload carries the rumor.
+        informed: bool,
+    },
+}
+
+impl<S: NodeSelector> RtDatingSpread<S> {
+    /// Dating-service spreading on `platform` from `source`.
+    ///
+    /// # Panics
+    /// Panics if sizes mismatch or `source` is out of range.
+    pub fn new(platform: Platform, selector: S, source: NodeId) -> Self {
+        assert_eq!(
+            platform.n(),
+            selector.n(),
+            "selector universe must match platform size"
+        );
+        assert!(source.index() < platform.n(), "source out of range");
+        Self {
+            platform,
+            selector,
+            source,
+            history: Vec::new(),
+        }
+    }
+
+    /// Completed dating cycles after `rounds` engine rounds.
+    pub fn cycles_of(rounds: u64) -> u64 {
+        rounds.div_ceil(3)
+    }
+}
+
+impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
+    type Node = SpreadNode;
+    type Msg = DatingSpreadMsg;
+    type Output = SpreadRunSummary;
+
+    fn init_node(&self, id: NodeId, _rng: &mut SmallRng) -> SpreadNode {
+        SpreadNode {
+            informed: id == self.source,
+            ..SpreadNode::default()
+        }
+    }
+
+    fn on_round_start(
+        &self,
+        node: &mut SpreadNode,
+        id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingSpreadMsg>,
+    ) {
+        node.informed |= std::mem::take(&mut node.pending);
+        if !round.is_multiple_of(3) {
+            return;
+        }
+        let caps = self.platform.caps(id);
+        for _ in 0..caps.bw_out {
+            let dst = self.selector.select(rng);
+            out.send(dst, DatingSpreadMsg::Offer);
+        }
+        for _ in 0..caps.bw_in {
+            let dst = self.selector.select(rng);
+            out.send(dst, DatingSpreadMsg::Request);
+        }
+    }
+
+    fn on_message(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        from: NodeId,
+        msg: DatingSpreadMsg,
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingSpreadMsg>,
+    ) {
+        match msg {
+            DatingSpreadMsg::Offer => node.offers_inbox.push(from),
+            DatingSpreadMsg::Request => node.requests_inbox.push(from),
+            DatingSpreadMsg::AnswerOffer(partner) => {
+                if let Some(p) = partner {
+                    out.send(
+                        p,
+                        DatingSpreadMsg::Payload {
+                            informed: node.informed,
+                        },
+                    );
+                }
+            }
+            DatingSpreadMsg::AnswerRequest(_) => {}
+            DatingSpreadMsg::Payload { informed } => {
+                if informed {
+                    node.pending = true;
+                }
+            }
+        }
+    }
+
+    fn on_round_end(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingSpreadMsg>,
+    ) {
+        if round % 3 != 1 {
+            return;
+        }
+        let offers = &mut node.offers_inbox;
+        let requests = &mut node.requests_inbox;
+        let q = offers.len().min(requests.len());
+        partial_shuffle(offers, q, rng);
+        partial_shuffle(requests, q, rng);
+        for j in 0..q {
+            out.send(offers[j], DatingSpreadMsg::AnswerOffer(Some(requests[j])));
+            out.send(requests[j], DatingSpreadMsg::AnswerRequest(Some(offers[j])));
+        }
+        for &o in &offers[q..] {
+            out.send(o, DatingSpreadMsg::AnswerOffer(None));
+        }
+        for &r in &requests[q..] {
+            out.send(r, DatingSpreadMsg::AnswerRequest(None));
+        }
+        offers.clear();
+        requests.clear();
+    }
+
+    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
+        if self.history.is_empty() {
+            self.history.push(1);
+        }
+        let count = informed_count(nodes);
+        self.history.push(count);
+        if count == nodes.len() as u64 {
+            Verdict::Halt(SpreadRunSummary {
+                rounds: round + 1,
+                informed_history: std::mem::take(&mut self.history),
+            })
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
+        informed_digest(nodes, round)
+    }
+
+    fn msg_bytes(&self, msg: &DatingSpreadMsg) -> usize {
+        match msg {
+            DatingSpreadMsg::Payload { .. } => PAYLOAD_BYTES,
+            _ => ADDRESS_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ConditionedExecutor, Executor, SequentialExecutor, ShardedExecutor};
+    use crate::report::RunConfig;
+    use crate::Conditions;
+    use rendez_core::UniformSelector;
+
+    #[test]
+    fn push_pull_completes_in_logarithmic_rounds() {
+        let n = 1024;
+        let mut p = RtPushPull::new(n, NodeId(0));
+        let r = SequentialExecutor.run(&mut p, n, &RunConfig::seeded(1).max_rounds(500));
+        assert!(r.completed);
+        let out = r.expect_output();
+        assert_eq!(out.final_informed(), n as u64);
+        assert_eq!(out.informed_history[0], 1);
+        // Message-passing PUSH&PULL is a small constant over log2(n)=10.
+        assert!(out.rounds < 60, "took {} rounds", out.rounds);
+        for w in out.informed_history.windows(2) {
+            assert!(w[1] >= w[0], "informed set shrank");
+        }
+    }
+
+    #[test]
+    fn dating_spread_completes_on_unit_platform() {
+        let n = 512;
+        let mut p = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        let r = SequentialExecutor.run(&mut p, n, &RunConfig::seeded(2).max_rounds(3000));
+        assert!(r.completed);
+        let out = r.expect_output();
+        assert_eq!(out.final_informed(), n as u64);
+        // O(log n) cycles, 3 rounds each; generous cap.
+        assert!(
+            RtDatingSpread::<UniformSelector>::cycles_of(out.rounds) < 120,
+            "took {} rounds",
+            out.rounds
+        );
+    }
+
+    #[test]
+    fn executors_agree_on_spreading_traces() {
+        let n = 700;
+        let cfg = RunConfig::seeded(3).max_rounds(2000);
+        let mut a = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(5));
+        let seq = SequentialExecutor.run(&mut a, n, &cfg);
+        for shards in [2, 5, 16] {
+            let mut b = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(5));
+            let sh = ShardedExecutor::new(shards).run(&mut b, n, &cfg);
+            assert_eq!(seq.digests, sh.digests, "shards={shards}");
+            assert_eq!(seq.output, sh.output, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn loss_slows_but_does_not_stop_spreading() {
+        let n = 256;
+        let cfg = RunConfig::seeded(4).max_rounds(5000);
+        let mut ideal = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        let clean = SequentialExecutor.run(&mut ideal, n, &cfg).expect_output();
+        let mut lossy = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        let noisy = ConditionedExecutor::new(SequentialExecutor, Conditions::with_loss(0.3))
+            .run(&mut lossy, n, &cfg)
+            .expect_output();
+        assert_eq!(noisy.final_informed(), n as u64);
+        assert!(
+            noisy.rounds >= clean.rounds,
+            "loss should not speed spreading ({} vs {})",
+            noisy.rounds,
+            clean.rounds
+        );
+    }
+
+    #[test]
+    fn fast_source_informs_more_early() {
+        // Theorem 10 mechanism: a high-bandwidth source is the sender of
+        // up to bout(source) dates per cycle, so after the first cycle's
+        // payloads land it has informed several nodes; a unit-bandwidth
+        // source can have informed at most a couple.
+        let platform = Platform::bimodal(100, 0.05, 1, 20);
+        let early = |source: NodeId| -> f64 {
+            let mut total = 0u64;
+            let seeds = 20;
+            for seed in 0..seeds {
+                let mut p =
+                    RtDatingSpread::new(platform.clone(), UniformSelector::new(100), source);
+                let out = SequentialExecutor
+                    .run(&mut p, 100, &RunConfig::seeded(seed).max_rounds(5000))
+                    .expect_output();
+                // Entry 4 = informed count once cycle 0's payloads landed.
+                total += out.informed_history[4.min(out.informed_history.len() - 1)];
+            }
+            total as f64 / seeds as f64
+        };
+        let fast = early(NodeId(0)); // bout = 20
+        let slow = early(NodeId(99)); // bout = 1
+        assert!(
+            fast > slow + 1.0,
+            "fast source should lead after one cycle: fast {fast} vs slow {slow}"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Network conditioning: deterministic per-message loss and latency.
+//!
+//! The paper analyses the synchronous lossless model; the asynchronous and
+//! lossy regimes studied by Patsonakis & Roussopoulos and by Cichoń et al.
+//! are reached by *conditioning* the message channel. The crucial design
+//! decision here is that a message's fate is a **pure function of the run
+//! seed and the message's `(src, seq)` identity** — no shared RNG stream
+//! is consumed. That keeps conditioned runs bit-for-bit identical across
+//! executors (sequential, sharded, any shard count) and independent of
+//! the order in which the coordinator happens to scan the send batch.
+
+use crate::proto::Envelope;
+use rendez_sim::{derive_seed, SplitMix64};
+
+/// Salt separating the conditioning stream from node RNG streams.
+const FATE_SALT: u64 = 0xC01D_F47E_u64;
+
+/// Latency distribution for conditioned delivery (in whole rounds ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyDist {
+    /// Every message takes exactly this many rounds (1 = synchronous).
+    Fixed(u64),
+    /// Uniform over `min..=max` rounds.
+    Uniform {
+        /// Fastest delivery (≥ 1).
+        min: u64,
+        /// Slowest delivery (≥ `min`).
+        max: u64,
+    },
+    /// Geometric with success probability `p`, capped at `cap` rounds:
+    /// each round the message arrives with probability `p` — the discrete
+    /// memoryless "asynchronous network" model.
+    Geometric {
+        /// Per-round arrival probability (0 < p ≤ 1).
+        p: f64,
+        /// Hard cap on the latency draw (≥ 1).
+        cap: u64,
+    },
+}
+
+impl LatencyDist {
+    /// Largest latency this distribution can produce.
+    pub fn max_latency(&self) -> u64 {
+        match *self {
+            LatencyDist::Fixed(l) => l,
+            LatencyDist::Uniform { max, .. } => max,
+            LatencyDist::Geometric { cap, .. } => cap,
+        }
+    }
+
+    /// Check the variant's parameter invariants.
+    ///
+    /// # Panics
+    /// Panics on `Fixed(0)`, an empty or zero-based `Uniform` range, or a
+    /// `Geometric` with `p ∉ (0, 1]` or `cap == 0`.
+    pub fn validate(&self) {
+        match *self {
+            LatencyDist::Fixed(l) => {
+                assert!(l >= 1, "latency must be at least one round");
+            }
+            LatencyDist::Uniform { min, max } => {
+                assert!(min >= 1, "latency must be at least one round");
+                assert!(
+                    min <= max,
+                    "Uniform latency needs min <= max, got {min}..={max}"
+                );
+            }
+            LatencyDist::Geometric { p, cap } => {
+                assert!(
+                    p > 0.0 && p <= 1.0,
+                    "Geometric latency needs p in (0,1], got {p}"
+                );
+                assert!(cap >= 1, "latency must be at least one round");
+            }
+        }
+    }
+
+    fn sample(&self, u: u64) -> u64 {
+        match *self {
+            LatencyDist::Fixed(l) => l,
+            LatencyDist::Uniform { min, max } => {
+                let span = max - min + 1;
+                min + ((u as u128 * span as u128) >> 64) as u64
+            }
+            LatencyDist::Geometric { p, cap } => {
+                let x = to_unit(u);
+                // Inversion: ceil(ln(1-x) / ln(1-p)), clamped to [1, cap].
+                if p >= 1.0 {
+                    return 1;
+                }
+                let draw = ((1.0 - x).ln() / (1.0 - p).ln()).ceil();
+                (draw.max(1.0) as u64).min(cap)
+            }
+        }
+    }
+}
+
+/// Map 64 uniform bits to `[0, 1)`.
+fn to_unit(u: u64) -> f64 {
+    (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Channel conditions applied to every message of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conditions {
+    /// Probability that a message is silently lost.
+    pub drop_prob: f64,
+    /// Latency distribution for messages that survive.
+    pub latency: LatencyDist,
+}
+
+impl Default for Conditions {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl Conditions {
+    /// The paper's model: lossless, synchronous (latency 1).
+    pub fn ideal() -> Self {
+        Self {
+            drop_prob: 0.0,
+            latency: LatencyDist::Fixed(1),
+        }
+    }
+
+    /// Lossless but with the given latency distribution.
+    pub fn with_latency(latency: LatencyDist) -> Self {
+        Self {
+            drop_prob: 0.0,
+            latency,
+        }
+    }
+
+    /// Synchronous with the given loss probability.
+    ///
+    /// # Panics
+    /// Panics if `loss ∉ [0, 1)`.
+    pub fn with_loss(loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "drop_prob must be in [0,1)");
+        Self {
+            drop_prob: loss,
+            latency: LatencyDist::Fixed(1),
+        }
+    }
+
+    /// Whether these are the ideal (lossless, latency-1) conditions.
+    pub fn is_ideal(&self) -> bool {
+        self.drop_prob == 0.0 && self.latency == LatencyDist::Fixed(1)
+    }
+
+    /// Decide the fate of `envelope` in the run keyed by `seed`:
+    /// `None` = lost, `Some(l)` = delivered `l ≥ 1` rounds after sending.
+    ///
+    /// Deterministic in `(seed, src, seq)` alone; the same message gets
+    /// the same fate no matter which executor or thread asks.
+    pub fn fate<M>(&self, seed: u64, envelope: &Envelope<M>) -> Option<u64> {
+        if self.is_ideal() {
+            return Some(1);
+        }
+        let per_src = derive_seed(seed ^ FATE_SALT, envelope.src.0 as u64);
+        let h = derive_seed(per_src, envelope.seq);
+        if self.drop_prob > 0.0 && to_unit(h) < self.drop_prob {
+            return None;
+        }
+        let latency = self.latency.sample(SplitMix64::mix(h));
+        Some(latency.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendez_sim::NodeId;
+
+    fn env(src: u32, seq: u64) -> Envelope<u8> {
+        Envelope {
+            src: NodeId(src),
+            dst: NodeId(0),
+            seq,
+            msg: 0,
+        }
+    }
+
+    #[test]
+    fn ideal_is_always_next_round() {
+        let c = Conditions::ideal();
+        for seq in 0..100 {
+            assert_eq!(c.fate(7, &env(3, seq)), Some(1));
+        }
+    }
+
+    #[test]
+    fn fate_is_deterministic_and_seed_sensitive() {
+        let c = Conditions::with_loss(0.5);
+        let a: Vec<_> = (0..200).map(|s| c.fate(1, &env(9, s))).collect();
+        let b: Vec<_> = (0..200).map(|s| c.fate(1, &env(9, s))).collect();
+        assert_eq!(a, b);
+        let other: Vec<_> = (0..200).map(|s| c.fate(2, &env(9, s))).collect();
+        assert_ne!(a, other, "different seeds must recondition messages");
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let c = Conditions::with_loss(0.3);
+        let n = 100_000;
+        let lost = (0..n).filter(|&s| c.fate(42, &env(1, s)).is_none()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "measured loss {rate}");
+    }
+
+    #[test]
+    fn uniform_latency_bounds() {
+        let c = Conditions::with_latency(LatencyDist::Uniform { min: 2, max: 5 });
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..10_000 {
+            let l = c.fate(3, &env(2, s)).unwrap();
+            assert!((2..=5).contains(&l));
+            seen.insert(l);
+        }
+        assert_eq!(seen.len(), 4, "all latencies in range should occur");
+    }
+
+    #[test]
+    fn geometric_latency_capped_with_correct_mean() {
+        let c = Conditions::with_latency(LatencyDist::Geometric { p: 0.5, cap: 64 });
+        let n = 100_000u64;
+        let mut sum = 0u64;
+        for s in 0..n {
+            let l = c.fate(4, &env(5, s)).unwrap();
+            assert!((1..=64).contains(&l));
+            sum += l;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "geometric mean {mean}");
+    }
+
+    #[test]
+    fn max_latency_matches_variants() {
+        assert_eq!(LatencyDist::Fixed(3).max_latency(), 3);
+        assert_eq!(LatencyDist::Uniform { min: 1, max: 9 }.max_latency(), 9);
+        assert_eq!(LatencyDist::Geometric { p: 0.1, cap: 40 }.max_latency(), 40);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_variants() {
+        LatencyDist::Fixed(1).validate();
+        LatencyDist::Uniform { min: 1, max: 1 }.validate();
+        LatencyDist::Geometric { p: 1.0, cap: 1 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1]")]
+    fn validate_rejects_zero_geometric_p() {
+        LatencyDist::Geometric { p: 0.0, cap: 64 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn validate_rejects_empty_uniform_range() {
+        LatencyDist::Uniform { min: 5, max: 2 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn validate_rejects_zero_fixed_latency() {
+        LatencyDist::Fixed(0).validate();
+    }
+}

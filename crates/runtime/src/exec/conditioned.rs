@@ -1,0 +1,61 @@
+//! Channel conditioning as an executor wrapper.
+
+use super::Executor;
+use crate::conditions::Conditions;
+use crate::proto::RoundProtocol;
+use crate::report::{RunConfig, RunReport};
+
+/// Wraps any executor and overrides the run's channel [`Conditions`].
+///
+/// Conditioning is orthogonal to scheduling: the fate of each message is a
+/// pure function of `(seed, src, seq)` (see [`Conditions::fate`]), so a
+/// conditioned run is just a run whose config carries non-ideal
+/// conditions. This wrapper exists to make composition explicit at the
+/// type level — `ConditionedExecutor::new(ShardedExecutor::new(8), c)`
+/// reads as "lossy network, executed on 8 shards".
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionedExecutor<E> {
+    inner: E,
+    conditions: Conditions,
+}
+
+impl<E: Executor> ConditionedExecutor<E> {
+    /// Condition `inner` with `conditions`.
+    pub fn new(inner: E, conditions: Conditions) -> Self {
+        Self { inner, conditions }
+    }
+
+    /// The wrapped conditions.
+    pub fn conditions(&self) -> Conditions {
+        self.conditions
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Executor> Executor for ConditionedExecutor<E> {
+    fn name(&self) -> String {
+        format!(
+            "conditioned({}, loss={}, latency={:?})",
+            self.inner.name(),
+            self.conditions.drop_prob,
+            self.conditions.latency
+        )
+    }
+
+    fn run<P: RoundProtocol>(
+        &self,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output> {
+        let conditioned = RunConfig {
+            conditions: self.conditions,
+            ..*cfg
+        };
+        self.inner.run(proto, n, &conditioned)
+    }
+}

@@ -1,0 +1,292 @@
+//! Executors: pluggable strategies for driving a [`RoundProtocol`].
+//!
+//! All executors implement [`Executor`] and are observationally
+//! equivalent: for the same `(protocol, RunConfig)` they produce the same
+//! rounds, output, digest trace and message statistics. They differ only
+//! in *how* the per-node work of a round is scheduled:
+//!
+//! * [`SequentialExecutor`] — one thread, nodes in id order; the
+//!   reference semantics every other executor is tested against;
+//! * [`ShardedExecutor`] — nodes partitioned into contiguous shards, each
+//!   round's node work fanned out over scoped threads, cross-shard
+//!   message batches merged deterministically between rounds;
+//! * [`ConditionedExecutor`] — wraps any inner executor and overrides the
+//!   run's channel [`Conditions`] (loss, latency distributions).
+
+mod conditioned;
+mod sequential;
+mod sharded;
+
+pub use conditioned::ConditionedExecutor;
+pub use sequential::SequentialExecutor;
+pub use sharded::ShardedExecutor;
+
+use crate::proto::{Envelope, RoundProtocol};
+use crate::report::{NetStats, RunConfig, RunReport};
+use std::collections::VecDeque;
+
+/// A strategy for executing a round-based protocol run.
+pub trait Executor {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> String;
+
+    /// Drive `proto` over `n` nodes until it halts or `cfg.max_rounds`.
+    ///
+    /// `proto` is borrowed mutably only for
+    /// [`finalize`](RoundProtocol::finalize), which runs between rounds on
+    /// the coordinating thread; round callbacks see `&P`.
+    fn run<P: RoundProtocol>(
+        &self,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output>;
+}
+
+/// Decide the fate of every envelope in `fresh` (in place, draining it)
+/// and file survivors into `buckets`, where `buckets[k]` holds messages
+/// due `k + 1` rounds from now. `route` maps an envelope to its
+/// destination sub-bucket (shard index; 0 for sequential execution).
+pub(crate) fn schedule_sends<P: RoundProtocol>(
+    proto: &P,
+    cfg: &RunConfig,
+    fresh: &mut Vec<Envelope<P::Msg>>,
+    buckets: &mut VecDeque<Vec<Vec<Envelope<P::Msg>>>>,
+    lanes: usize,
+    route: impl Fn(&Envelope<P::Msg>) -> usize,
+    stats: &mut NetStats,
+) {
+    for env in fresh.drain(..) {
+        stats.sent += 1;
+        stats.bytes_sent += proto.msg_bytes(&env.msg) as u64;
+        match cfg.conditions.fate(cfg.seed, &env) {
+            None => stats.dropped += 1,
+            Some(latency) => {
+                let slot = (latency - 1) as usize;
+                while buckets.len() <= slot {
+                    buckets.push_back((0..lanes).map(|_| Vec::new()).collect());
+                }
+                let lane = route(&env);
+                buckets[slot][lane].push(env);
+            }
+        }
+    }
+}
+
+/// Shared conditions sanity-check for executor entry points.
+pub(crate) fn validate_run(n: usize, cfg: &RunConfig) {
+    assert!(n > 0, "a run needs at least one node");
+    assert!(
+        (0.0..1.0).contains(&cfg.conditions.drop_prob),
+        "drop_prob must be in [0,1), got {}",
+        cfg.conditions.drop_prob
+    );
+    cfg.conditions.latency.validate();
+}
+
+#[cfg(test)]
+pub(crate) mod testproto {
+    //! A tiny protocol used by the executor unit tests: every node sends
+    //! one `Ping` to a random target per round; nodes count receptions;
+    //! the run halts when the total reception count reaches a threshold.
+
+    use crate::proto::{Outbox, RoundProtocol, Verdict};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use rendez_sim::{NodeId, SplitMix64};
+
+    pub struct RandomPing {
+        pub n: usize,
+        pub target_total: u64,
+    }
+
+    #[derive(Default)]
+    pub struct PingNode {
+        pub received: u64,
+        pub sent: u64,
+    }
+
+    impl RoundProtocol for RandomPing {
+        type Node = PingNode;
+        type Msg = u8;
+        type Output = u64;
+
+        fn init_node(&self, _id: NodeId, _rng: &mut SmallRng) -> PingNode {
+            PingNode::default()
+        }
+
+        fn on_round_start(
+            &self,
+            node: &mut PingNode,
+            _id: NodeId,
+            _round: u64,
+            rng: &mut SmallRng,
+            out: &mut Outbox<'_, u8>,
+        ) {
+            let dst = NodeId(rng.gen_range(0..self.n as u32));
+            out.send(dst, 1);
+            node.sent += 1;
+        }
+
+        fn on_message(
+            &self,
+            node: &mut PingNode,
+            _id: NodeId,
+            _from: NodeId,
+            msg: u8,
+            _round: u64,
+            _rng: &mut SmallRng,
+            _out: &mut Outbox<'_, u8>,
+        ) {
+            node.received += msg as u64;
+        }
+
+        fn finalize(&mut self, nodes: &[PingNode], _round: u64) -> Verdict<u64> {
+            let total: u64 = nodes.iter().map(|v| v.received).sum();
+            if total >= self.target_total {
+                Verdict::Halt(total)
+            } else {
+                Verdict::Continue
+            }
+        }
+
+        fn digest(&self, nodes: &[PingNode], round: u64) -> u64 {
+            let mut h = SplitMix64::mix(round);
+            for v in nodes {
+                h = SplitMix64::mix(h ^ (v.received << 16) ^ v.sent);
+            }
+            h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testproto::RandomPing;
+    use super::*;
+    use crate::conditions::{Conditions, LatencyDist};
+
+    fn run_with<E: Executor>(exec: &E, n: usize, seed: u64) -> RunReport<u64> {
+        let mut proto = RandomPing {
+            n,
+            target_total: 5 * n as u64,
+        };
+        exec.run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(100))
+    }
+
+    #[test]
+    fn sequential_completes_and_accounts() {
+        let r = run_with(&SequentialExecutor, 100, 1);
+        assert!(r.completed);
+        // One ping per node per round, all delivered one round later.
+        assert_eq!(r.stats.sent, 100 * r.rounds);
+        assert_eq!(r.stats.dropped, 0);
+        assert_eq!(r.stats.delivered, r.stats.sent - 100);
+        assert_eq!(r.digests.len() as u64, r.rounds);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bit_for_bit() {
+        for seed in [0, 7, 99] {
+            let seq = run_with(&SequentialExecutor, 193, seed);
+            for shards in [1, 2, 3, 8, 64] {
+                let sh = run_with(&ShardedExecutor::new(shards), 193, seed);
+                assert_eq!(seq.rounds, sh.rounds, "shards={shards}");
+                assert_eq!(seq.output, sh.output, "shards={shards}");
+                assert_eq!(seq.digests, sh.digests, "shards={shards}");
+                assert_eq!(seq.stats, sh.stats, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_loss_drops_messages_identically_on_both_executors() {
+        let cond = Conditions::with_loss(0.4);
+        let a = {
+            let mut p = RandomPing {
+                n: 80,
+                target_total: 200,
+            };
+            ConditionedExecutor::new(SequentialExecutor, cond).run(
+                &mut p,
+                80,
+                &RunConfig::seeded(5).max_rounds(100),
+            )
+        };
+        let b = {
+            let mut p = RandomPing {
+                n: 80,
+                target_total: 200,
+            };
+            ConditionedExecutor::new(ShardedExecutor::new(4), cond).run(
+                &mut p,
+                80,
+                &RunConfig::seeded(5).max_rounds(100),
+            )
+        };
+        assert!(a.stats.dropped > 0, "loss must actually drop messages");
+        assert_eq!(a.digests, b.digests);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn latency_spreads_deliveries_over_rounds() {
+        let cond = Conditions::with_latency(LatencyDist::Uniform { min: 1, max: 4 });
+        let mut p = RandomPing {
+            n: 50,
+            target_total: 100,
+        };
+        let r = ConditionedExecutor::new(SequentialExecutor, cond).run(
+            &mut p,
+            50,
+            &RunConfig::seeded(6).max_rounds(100),
+        );
+        assert!(r.completed);
+        assert_eq!(r.stats.dropped, 0);
+    }
+
+    #[test]
+    fn round_cap_reports_incomplete() {
+        let mut p = RandomPing {
+            n: 10,
+            target_total: u64::MAX,
+        };
+        let r = SequentialExecutor.run(&mut p, 10, &RunConfig::seeded(1).max_rounds(7));
+        assert!(!r.completed);
+        assert_eq!(r.rounds, 7);
+        assert!(r.output.is_none());
+    }
+
+    #[test]
+    fn executor_names() {
+        assert_eq!(SequentialExecutor.name(), "sequential");
+        assert_eq!(ShardedExecutor::new(8).name(), "sharded(8)");
+        let c = ConditionedExecutor::new(ShardedExecutor::new(2), Conditions::with_loss(0.1));
+        assert!(c.name().starts_with("conditioned(sharded(2)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let mut p = RandomPing {
+            n: 1,
+            target_total: 1,
+        };
+        let _ = SequentialExecutor.run(&mut p, 0, &RunConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1]")]
+    fn degenerate_geometric_latency_rejected_at_run_entry() {
+        let mut p = RandomPing {
+            n: 4,
+            target_total: 1,
+        };
+        let cond = Conditions::with_latency(LatencyDist::Geometric { p: 0.0, cap: 64 });
+        let _ = ConditionedExecutor::new(SequentialExecutor, cond).run(
+            &mut p,
+            4,
+            &RunConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The single-threaded reference executor.
+
+use super::{schedule_sends, validate_run, Executor};
+use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
+use crate::report::{NetStats, RunConfig, RunReport};
+use rand::rngs::SmallRng;
+use rendez_sim::{small_rng_for, NodeId};
+use std::collections::VecDeque;
+
+/// Runs every node on the calling thread, in id order.
+///
+/// This is the executable specification of the runtime's semantics: the
+/// sharded executor (and anything added later) must reproduce its digest
+/// traces bit-for-bit. Keep it boring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl Executor for SequentialExecutor {
+    fn name(&self) -> String {
+        "sequential".to_string()
+    }
+
+    fn run<P: RoundProtocol>(
+        &self,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output> {
+        validate_run(n, cfg);
+        let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
+        let mut seqs: Vec<u64> = vec![0; n];
+        let mut nodes: Vec<P::Node> = (0..n)
+            .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
+            .collect();
+
+        // `buckets[k]` holds messages due `k` rounds after the current
+        // pop; the single lane keeps the layout identical to the sharded
+        // executor's (lane = shard) so `schedule_sends` is shared.
+        let mut buckets: VecDeque<Vec<Vec<Envelope<P::Msg>>>> = VecDeque::new();
+        let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut stats = NetStats::default();
+        let mut digests = Vec::new();
+
+        for round in 0..cfg.max_rounds {
+            // Phase 1: round-start hooks, id order.
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
+                proto.on_round_start(&mut nodes[i], id, round, &mut rngs[i], &mut out);
+            }
+
+            // Phase 2: deliveries due this round, (dst, src, seq) order.
+            let mut due = buckets
+                .pop_front()
+                .map(|mut lanes| lanes.swap_remove(0))
+                .unwrap_or_default();
+            due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
+            for env in due {
+                let i = env.dst.index();
+                stats.delivered += 1;
+                let mut out = Outbox::new(env.dst, n, &mut seqs[i], &mut fresh);
+                proto.on_message(
+                    &mut nodes[i],
+                    env.dst,
+                    env.src,
+                    env.msg,
+                    round,
+                    &mut rngs[i],
+                    &mut out,
+                );
+            }
+
+            // Phase 3: round-end hooks, id order.
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
+                proto.on_round_end(&mut nodes[i], id, round, &mut rngs[i], &mut out);
+            }
+
+            // File this round's sends and close out the round.
+            schedule_sends(proto, cfg, &mut fresh, &mut buckets, 1, |_| 0, &mut stats);
+            digests.push(proto.digest(&nodes, round));
+            if let Verdict::Halt(output) = proto.finalize(&nodes, round) {
+                return RunReport {
+                    rounds: round + 1,
+                    completed: true,
+                    output: Some(output),
+                    digests,
+                    stats,
+                };
+            }
+        }
+
+        RunReport {
+            rounds: cfg.max_rounds,
+            completed: false,
+            output: None,
+            digests,
+            stats,
+        }
+    }
+}

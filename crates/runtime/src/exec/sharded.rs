@@ -1,0 +1,198 @@
+//! The shard-parallel executor.
+//!
+//! Nodes are partitioned into contiguous shards. Within a round every
+//! shard runs the full phase schedule (round-start → deliveries →
+//! round-end) for its own nodes on its own scoped thread; no locks are
+//! taken, because a shard owns its nodes' state, RNG streams and send
+//! counters outright, and the messages it must deliver were routed to it
+//! when the previous round's sends were filed.
+//!
+//! Determinism relative to [`SequentialExecutor`](super::SequentialExecutor)
+//! follows from three facts:
+//!
+//! 1. node callbacks touch exactly one node's state and RNG stream, so
+//!    running disjoint node ranges concurrently cannot interleave state;
+//! 2. each shard sorts its deliveries by `(dst, src, seq)` — and since
+//!    shards are contiguous id ranges, the concatenation of the shard
+//!    orders **is** the sequential executor's global order;
+//! 3. per-message fate (loss, latency) is a pure function of
+//!    `(seed, src, seq)`, so routing/merging order cannot perturb it.
+
+use super::{schedule_sends, validate_run, Executor};
+use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
+use crate::report::{NetStats, RunConfig, RunReport};
+use rand::rngs::SmallRng;
+use rendez_sim::{small_rng_for, NodeId};
+use std::collections::VecDeque;
+
+/// Executes each round shard-parallel over scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    shards: usize,
+}
+
+impl ShardedExecutor {
+    /// Executor with a fixed shard count (0 = one shard per core).
+    pub fn new(shards: usize) -> Self {
+        let shards = if shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            shards
+        };
+        Self { shards }
+    }
+
+    /// One shard per available core.
+    pub fn auto() -> Self {
+        Self::new(0)
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// One shard's slice of the round: run all three phases for the nodes in
+/// `[base, base + nodes.len())`, returning the shard's fresh sends and
+/// its delivery count.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_round<P: RoundProtocol>(
+    proto: &P,
+    n: usize,
+    base: usize,
+    round: u64,
+    nodes: &mut [P::Node],
+    rngs: &mut [SmallRng],
+    seqs: &mut [u64],
+    mut due: Vec<Envelope<P::Msg>>,
+) -> (Vec<Envelope<P::Msg>>, u64) {
+    let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+
+    for (off, node) in nodes.iter_mut().enumerate() {
+        let id = NodeId::from_index(base + off);
+        let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
+        proto.on_round_start(node, id, round, &mut rngs[off], &mut out);
+    }
+
+    due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
+    let delivered = due.len() as u64;
+    for env in due {
+        let off = env.dst.index() - base;
+        let mut out = Outbox::new(env.dst, n, &mut seqs[off], &mut fresh);
+        proto.on_message(
+            &mut nodes[off],
+            env.dst,
+            env.src,
+            env.msg,
+            round,
+            &mut rngs[off],
+            &mut out,
+        );
+    }
+
+    for (off, node) in nodes.iter_mut().enumerate() {
+        let id = NodeId::from_index(base + off);
+        let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
+        proto.on_round_end(node, id, round, &mut rngs[off], &mut out);
+    }
+
+    (fresh, delivered)
+}
+
+impl Executor for ShardedExecutor {
+    fn name(&self) -> String {
+        format!("sharded({})", self.shards)
+    }
+
+    fn run<P: RoundProtocol>(
+        &self,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output> {
+        validate_run(n, cfg);
+        let chunk = n.div_ceil(self.shards.max(1));
+        let shards = n.div_ceil(chunk);
+
+        let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
+        let mut seqs: Vec<u64> = vec![0; n];
+        let mut nodes: Vec<P::Node> = (0..n)
+            .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
+            .collect();
+
+        // `buckets[k][s]` = messages due `k` rounds after the current pop,
+        // addressed to shard `s`.
+        let mut buckets: VecDeque<Vec<Vec<Envelope<P::Msg>>>> = VecDeque::new();
+        let mut stats = NetStats::default();
+        let mut digests = Vec::new();
+
+        for round in 0..cfg.max_rounds {
+            let due_by_shard = buckets
+                .pop_front()
+                .unwrap_or_else(|| (0..shards).map(|_| Vec::new()).collect());
+
+            // Fan the round out; shards own disjoint chunks of every
+            // per-node vector, handed to them via chunk iterators.
+            let proto_ref: &P = proto;
+            let mut shard_results: Vec<(Vec<Envelope<P::Msg>>, u64)> = Vec::with_capacity(shards);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                let node_chunks = nodes.chunks_mut(chunk);
+                let rng_chunks = rngs.chunks_mut(chunk);
+                let seq_chunks = seqs.chunks_mut(chunk);
+                for (sidx, (((nc, rc), sc), due)) in node_chunks
+                    .zip(rng_chunks)
+                    .zip(seq_chunks)
+                    .zip(due_by_shard)
+                    .enumerate()
+                {
+                    let base = sidx * chunk;
+                    handles.push(scope.spawn(move || {
+                        run_shard_round(proto_ref, n, base, round, nc, rc, sc, due)
+                    }));
+                }
+                for h in handles {
+                    shard_results.push(h.join().expect("shard thread panicked"));
+                }
+            });
+
+            // Deterministic merge: iterate shards in order (so the
+            // concatenation equals the sequential emission order) and
+            // route each surviving message to its destination shard.
+            for (mut fresh, delivered) in shard_results {
+                stats.delivered += delivered;
+                schedule_sends(
+                    proto,
+                    cfg,
+                    &mut fresh,
+                    &mut buckets,
+                    shards,
+                    |env| env.dst.index() / chunk,
+                    &mut stats,
+                );
+            }
+
+            digests.push(proto.digest(&nodes, round));
+            if let Verdict::Halt(output) = proto.finalize(&nodes, round) {
+                return RunReport {
+                    rounds: round + 1,
+                    completed: true,
+                    output: Some(output),
+                    digests,
+                    stats,
+                };
+            }
+        }
+
+        RunReport {
+            rounds: cfg.max_rounds,
+            completed: false,
+            output: None,
+            digests,
+            stats,
+        }
+    }
+}

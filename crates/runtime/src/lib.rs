@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # rendez-runtime — sans-I/O round runtime with pluggable executors
+//!
+//! Every protocol in this workspace — the dating service and all seven
+//! Figure-2 spreaders — is a round-based message-passing protocol, but the
+//! seed implementations hard-wire them either to centralized sampling
+//! (`rendez_gossip`) or to the single-threaded `rendez_sim` engine. This
+//! crate separates **what a protocol does** from **how its rounds are
+//! executed**, in the style of manul's round-based protocol framework:
+//!
+//! * a protocol is a typed per-node state machine ([`RoundProtocol`]):
+//!   it emits messages at round start, absorbs deliveries, does local
+//!   end-of-round work, and finalizes each round into
+//!   continue / halt-with-result ([`Verdict`]);
+//! * it performs no I/O and owns no clock — an [`Executor`] drives it.
+//!   Three are provided: [`SequentialExecutor`] (reference semantics),
+//!   [`ShardedExecutor`] (scoped-thread parallelism over node shards) and
+//!   [`ConditionedExecutor`] (message loss and latency distributions
+//!   layered over any inner executor);
+//! * [`adapters`] host the existing protocols — the distributed dating
+//!   service and the dating/PUSH&PULL spreaders — on the runtime, while
+//!   the legacy `rendez_sim::Protocol` path keeps working untouched.
+//!
+//! ## Determinism contract
+//!
+//! A run is a pure function of `(protocol, RunConfig)` — in particular it
+//! does **not** depend on the executor, the shard count, or thread
+//! scheduling. Executors guarantee, and the equivalence tests verify:
+//!
+//! 1. **Per-node RNG streams.** Node `i` draws from
+//!    `small_rng_for(seed, i)` only, and only while node `i` is being
+//!    stepped. No callback can observe another node's stream.
+//! 2. **Canonical delivery order.** Messages due in a round are delivered
+//!    sorted by `(dst, src, seq)`, where `seq` is the sender's private
+//!    send counter — a pure function of protocol behaviour. Shards hold
+//!    contiguous id ranges, so per-shard sorted order concatenates to
+//!    exactly the sequential order.
+//! 3. **Scheduling-free message fate.** Loss and latency under
+//!    [`Conditions`] are decided by hashing `(seed, src, seq)`, never by
+//!    consuming a shared RNG, so conditioning commutes with execution
+//!    strategy.
+//!
+//! Consequently `SequentialExecutor` and `ShardedExecutor::new(k)` return
+//! identical [`RunReport`]s (rounds, output, digest trace, statistics)
+//! for every `k` — the property the `exp_runtime_scaling` experiment
+//! checks at `n = 10⁵` while measuring the parallel speedup.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use rendez_runtime::{Executor, RunConfig, RuntimeDating, SequentialExecutor,
+//!     ShardedExecutor};
+//! use rendez_core::{Platform, UniformSelector};
+//!
+//! let n = 200;
+//! let mk = || RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), 5);
+//! let cfg = RunConfig::seeded(42).max_rounds(16);
+//!
+//! let a = SequentialExecutor.run(&mut mk(), n, &cfg);
+//! let b = ShardedExecutor::new(4).run(&mut mk(), n, &cfg);
+//! assert_eq!(a.digests, b.digests);              // identical traces
+//! assert!(a.expect_output().total_dates() > 0);  // Ω(m) dates arranged
+//! ```
+
+pub mod adapters;
+pub mod conditions;
+pub mod exec;
+pub mod proto;
+pub mod report;
+
+pub use adapters::{DatingRunSummary, RtDatingSpread, RtPushPull, RuntimeDating, SpreadRunSummary};
+pub use conditions::{Conditions, LatencyDist};
+pub use exec::{ConditionedExecutor, Executor, SequentialExecutor, ShardedExecutor};
+pub use proto::{Envelope, Outbox, RoundProtocol, Verdict};
+pub use report::{NetStats, RunConfig, RunReport};

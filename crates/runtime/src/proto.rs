@@ -1,0 +1,212 @@
+//! The sans-I/O protocol abstraction: per-node state machines that emit
+//! and absorb messages, with no knowledge of how rounds are executed.
+//!
+//! A protocol is split into two parts, following the manul school of
+//! round-based protocol design:
+//!
+//! * the **protocol object** (`impl RoundProtocol`) — immutable,
+//!   shared configuration (platform, selector, cycle schedule) plus the
+//!   round/finalization logic, borrowed by every worker;
+//! * the **node state** ([`RoundProtocol::Node`]) — one value per
+//!   simulated participant, owned by whichever executor shard currently
+//!   runs that participant.
+//!
+//! Because callbacks receive exactly one `&mut Node` plus that node's
+//! private RNG stream, an executor may run disjoint node sets on different
+//! threads without changing observable behaviour — the determinism
+//! contract in the [crate docs](crate) makes this precise.
+
+use rand::rngs::SmallRng;
+use rendez_sim::NodeId;
+
+/// One queued message: `src` sent `msg` to `dst`; `seq` is the sender's
+/// private send counter.
+///
+/// `(src, seq)` uniquely identifies a message within a run and is a pure
+/// function of protocol behaviour (never of executor scheduling), which is
+/// what makes delivery order and per-message fate reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub src: NodeId,
+    /// Destination.
+    pub dst: NodeId,
+    /// Sender-local send counter at the time of sending.
+    pub seq: u64,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Write-side of a node's network interface, handed to every callback.
+///
+/// Messages queued here during round `t` are delivered at round
+/// `t + latency` (latency ≥ 1; 1 under ideal [`Conditions`]).
+///
+/// [`Conditions`]: crate::Conditions
+pub struct Outbox<'a, M> {
+    src: NodeId,
+    n: usize,
+    seq: &'a mut u64,
+    env: &'a mut Vec<Envelope<M>>,
+}
+
+impl<'a, M> Outbox<'a, M> {
+    /// Bind an outbox to sender `src` with its persistent send counter.
+    pub(crate) fn new(
+        src: NodeId,
+        n: usize,
+        seq: &'a mut u64,
+        env: &'a mut Vec<Envelope<M>>,
+    ) -> Self {
+        Self { src, n, seq, env }
+    }
+
+    /// The node this outbox belongs to.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Total number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Queue `msg` for delivery to `dst`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        assert!(dst.index() < self.n, "send to out-of-range node {dst}");
+        self.env.push(Envelope {
+            src: self.src,
+            dst,
+            seq: *self.seq,
+            msg,
+        });
+        *self.seq += 1;
+    }
+}
+
+/// What [`RoundProtocol::finalize`] decided after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict<R> {
+    /// Run another round.
+    Continue,
+    /// The protocol is done; `R` is its result.
+    Halt(R),
+}
+
+/// A round-based protocol as a typed per-node state machine.
+///
+/// Executors drive implementations through the round schedule:
+///
+/// 1. [`on_round_start`](Self::on_round_start) for every node, in id
+///    order — emit this round's messages;
+/// 2. [`on_message`](Self::on_message) for every delivery due this round,
+///    in `(dst, src, seq)` order — absorb messages, possibly reply;
+/// 3. [`on_round_end`](Self::on_round_end) for every node, in id order —
+///    local end-of-round processing (e.g. matchmaking), possibly sending;
+/// 4. [`finalize`](Self::finalize) once, with a view of **all** node
+///    states — decide continue / halt and record observables.
+///
+/// Steps 1–3 see exactly one node's state and RNG stream and may run on
+/// any thread; step 4 runs on the coordinating thread between rounds.
+pub trait RoundProtocol: Sync {
+    /// Per-node state.
+    type Node: Send;
+    /// The message type exchanged between nodes.
+    type Msg: Send;
+    /// The protocol's final result, produced on halt.
+    type Output;
+
+    /// Build node `id`'s initial state. `rng` is the node's private
+    /// stream, the same one later callbacks for `id` receive.
+    fn init_node(&self, id: NodeId, rng: &mut SmallRng) -> Self::Node;
+
+    /// Round `round` begins for `id`: emit outgoing messages.
+    fn on_round_start(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// `msg` from `from` is delivered to `id` during `round`.
+    #[allow(clippy::too_many_arguments)]
+    fn on_message(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// Round `round` ends for `id`, after all deliveries.
+    fn on_round_end(
+        &self,
+        _node: &mut Self::Node,
+        _id: NodeId,
+        _round: u64,
+        _rng: &mut SmallRng,
+        _out: &mut Outbox<'_, Self::Msg>,
+    ) {
+    }
+
+    /// Inspect all node states after `round`; continue or halt.
+    ///
+    /// Takes `&mut self` so protocols can accumulate per-round
+    /// observables (informed counts, date tallies) into the eventual
+    /// [`Verdict::Halt`] output.
+    fn finalize(&mut self, nodes: &[Self::Node], round: u64) -> Verdict<Self::Output>;
+
+    /// A fingerprint of global protocol state after `round`, recorded
+    /// into [`RunReport::digests`](crate::RunReport::digests).
+    ///
+    /// Executors of every flavour must produce identical digest traces
+    /// for the same `(protocol, config)` — this is the hook the
+    /// cross-executor equivalence tests key on. The default (constant 0)
+    /// opts out.
+    fn digest(&self, _nodes: &[Self::Node], _round: u64) -> u64 {
+        0
+    }
+
+    /// Declared wire size of a message, for byte accounting.
+    fn msg_bytes(&self, _msg: &Self::Msg) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_stamps_src_and_seq() {
+        let mut seq = 5u64;
+        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut out = Outbox::new(NodeId(2), 4, &mut seq, &mut env);
+        assert_eq!(out.src(), NodeId(2));
+        assert_eq!(out.n(), 4);
+        out.send(NodeId(0), 7);
+        out.send(NodeId(3), 9);
+        assert_eq!(seq, 7);
+        assert_eq!(env[0].src, NodeId(2));
+        assert_eq!(env[0].dst, NodeId(0));
+        assert_eq!(env[0].seq, 5);
+        assert_eq!(env[1].seq, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn outbox_rejects_bad_destination() {
+        let mut seq = 0u64;
+        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut out = Outbox::new(NodeId(0), 2, &mut seq, &mut env);
+        out.send(NodeId(2), 1);
+    }
+}

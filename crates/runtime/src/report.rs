@@ -1,0 +1,107 @@
+//! Run configuration and the executor-independent run report.
+
+use crate::conditions::Conditions;
+
+/// Configuration shared by every executor.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Master seed; node RNG streams and message fates derive from it.
+    pub seed: u64,
+    /// Round cap: the run stops (with `completed = false`) if the
+    /// protocol has not halted after this many rounds.
+    pub max_rounds: u64,
+    /// Channel conditions (ideal unless overridden — usually by wrapping
+    /// the executor in [`ConditionedExecutor`](crate::ConditionedExecutor)).
+    pub conditions: Conditions,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            max_rounds: 1_000_000,
+            conditions: Conditions::ideal(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Config with the given seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the round cap.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// Message-level accounting, aggregated over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages queued by protocol code.
+    pub sent: u64,
+    /// Declared bytes of all sent messages.
+    pub bytes_sent: u64,
+    /// Messages delivered to a node.
+    pub delivered: u64,
+    /// Messages lost to channel conditioning.
+    pub dropped: u64,
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport<R> {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether the protocol halted by itself (false = hit `max_rounds`).
+    pub completed: bool,
+    /// The protocol's output, when it halted.
+    pub output: Option<R>,
+    /// Per-round state fingerprints from
+    /// [`RoundProtocol::digest`](crate::RoundProtocol::digest); entry `t`
+    /// describes the state after round `t`. Identical across executors
+    /// for the same `(protocol, config)`.
+    pub digests: Vec<u64>,
+    /// Message accounting.
+    pub stats: NetStats,
+}
+
+impl<R> RunReport<R> {
+    /// The output, panicking if the run did not complete.
+    pub fn expect_output(self) -> R {
+        self.output
+            .expect("protocol did not halt within max_rounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = RunConfig::seeded(9).max_rounds(50);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.max_rounds, 50);
+        assert!(cfg.conditions.is_ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn expect_output_panics_when_incomplete() {
+        let r: RunReport<u32> = RunReport {
+            rounds: 5,
+            completed: false,
+            output: None,
+            digests: vec![],
+            stats: NetStats::default(),
+        };
+        let _ = r.expect_output();
+    }
+}

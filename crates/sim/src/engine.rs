@@ -38,7 +38,13 @@ pub trait Protocol {
     fn on_round_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>);
 
     /// Called for every message delivered to `node` this round.
-    fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg>,
+    );
 
     /// Called once per round for every live node after deliveries.
     fn on_round_end(&mut self, _node: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
@@ -200,7 +206,9 @@ impl<P: Protocol> Engine<P> {
             config.drop_prob
         );
         // Stream 0..n are node streams; n is the engine's own stream.
-        let rngs = (0..n).map(|i| small_rng_for(config.seed, i as u64)).collect();
+        let rngs = (0..n)
+            .map(|i| small_rng_for(config.seed, i as u64))
+            .collect();
         let engine_rng = small_rng_for(config.seed, n as u64);
         let trace = config.trace_capacity.map(Trace::with_capacity);
         Self {
@@ -240,7 +248,8 @@ impl<P: Protocol> Engine<P> {
                 trace: &mut self.trace,
                 msg_bytes: P::msg_bytes,
             };
-            self.protocol.on_round_start(NodeId::from_index(i), &mut ctx);
+            self.protocol
+                .on_round_start(NodeId::from_index(i), &mut ctx);
         }
 
         // Phase 2: deliveries due this round, stable (dst, seq) order.
@@ -259,9 +268,7 @@ impl<P: Protocol> Engine<P> {
                 }
                 continue;
             }
-            if self.config.drop_prob > 0.0
-                && self.engine_rng.gen::<f64>() < self.config.drop_prob
-            {
+            if self.config.drop_prob > 0.0 && self.engine_rng.gen::<f64>() < self.config.drop_prob {
                 self.metrics.record_drop_random();
                 if let Some(t) = self.trace.as_mut() {
                     t.record(TraceEvent::Drop {
@@ -320,7 +327,7 @@ impl<P: Protocol> Engine<P> {
         while self.buckets.len() <= slot {
             self.buckets.push_back(Vec::new());
         }
-        self.buckets[slot].extend(self.outgoing.drain(..));
+        self.buckets[slot].append(&mut self.outgoing);
 
         // Phase 4: bookkeeping and churn.
         self.metrics.close_round();

@@ -24,8 +24,8 @@
 //! * [`metrics`] — message and byte accounting, per-round series;
 //! * [`trace`] — a bounded event trace for debugging protocol runs;
 //! * [`runner`] — a work-stealing parallel Monte-Carlo trial runner built
-//!   on crossbeam scoped threads; every experiment harness in the
-//!   workspace funnels through it.
+//!   on std scoped threads; every experiment harness in the workspace
+//!   funnels through it.
 //!
 //! Determinism contract: a run is a pure function of `(protocol, seed)`.
 //! Two runs with the same seed produce identical traces, metrics and

@@ -1,9 +1,9 @@
 //! Parallel Monte-Carlo trial runner.
 //!
 //! Every figure in the paper averages 10³–10⁴ independent trials. Trials
-//! are embarrassingly parallel, so the runner fans them out over crossbeam
-//! scoped threads with an atomic work-stealing counter. Each trial gets a
-//! seed derived from `(base_seed, trial_index)`; results are therefore
+//! are embarrassingly parallel, so the runner fans them out over std scoped
+//! threads with an atomic work-stealing counter. Each trial gets a seed
+//! derived from `(base_seed, trial_index)`; results are therefore
 //! **identical for any thread count**, including 1.
 
 use self::summaries::stats_of;
@@ -37,18 +37,23 @@ where
     T: Send,
     F: Fn(TrialCtx) -> T + Sync,
 {
-    let threads = if threads == 0 { default_threads() } else { threads }.max(1);
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .max(1);
     let threads = threads.min(trials.max(1));
 
     let mut results: Vec<Option<T>> = Vec::with_capacity(trials);
     results.resize_with(trials, || None);
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
@@ -60,11 +65,10 @@ where
                 // Each index is claimed exactly once, so the lock is
                 // uncontended; it exists to satisfy the borrow checker
                 // with disjoint &mut access.
-                **slots[i].lock() = Some(out);
+                **slots[i].lock().expect("slot lock poisoned") = Some(out);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
     drop(slots);
     results

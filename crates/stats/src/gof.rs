@@ -96,7 +96,10 @@ impl KsResult {
 /// # Panics
 /// Panics if either sample is empty.
 pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> KsResult {
-    assert!(!xs.is_empty() && !ys.is_empty(), "samples must be non-empty");
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "samples must be non-empty"
+    );
     let mut a = xs.to_vec();
     let mut b = ys.to_vec();
     a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS sample"));

@@ -265,7 +265,7 @@ mod tests {
         assert_eq!(h.count_of(3), 0);
         assert_eq!(h.max_value(), Some(7));
         assert!((h.pmf(1) - 2.0 / 7.0).abs() < 1e-12);
-        assert!((h.mean() - (0 + 1 + 1 + 2 + 2 + 2 + 7) as f64 / 7.0).abs() < 1e-12);
+        assert!((h.mean() - (1 + 1 + 2 + 2 + 2 + 7) as f64 / 7.0).abs() < 1e-12);
     }
 
     #[test]

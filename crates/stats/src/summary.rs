@@ -61,6 +61,7 @@ impl RunningStats {
     }
 
     /// Build an accumulator from an iterator of observations.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(xs: I) -> Self {
         let mut s = Self::new();
         s.extend(xs);

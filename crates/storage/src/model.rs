@@ -82,11 +82,7 @@ impl StorageSystem {
 
     /// Uniform system: every node has the same capacity and block count.
     pub fn uniform(n: usize, capacity: u32, blocks_per_node: u32, replication: u32) -> Self {
-        Self::new(
-            vec![capacity; n],
-            vec![blocks_per_node; n],
-            replication,
-        )
+        Self::new(vec![capacity; n], vec![blocks_per_node; n], replication)
     }
 
     /// Number of nodes.
@@ -151,13 +147,10 @@ impl StorageSystem {
             return None;
         }
         let t = target.0;
-        let candidate = self.owned[owner.index()]
-            .iter()
-            .copied()
-            .find(|&b| {
-                let info = &self.blocks[b as usize];
-                (info.holders.len() as u32) < self.replication && !info.holders.contains(&t)
-            })?;
+        let candidate = self.owned[owner.index()].iter().copied().find(|&b| {
+            let info = &self.blocks[b as usize];
+            (info.holders.len() as u32) < self.replication && !info.holders.contains(&t)
+        })?;
         self.blocks[candidate as usize].holders.push(t);
         self.used[target.index()] += 1;
         Some(BlockId(candidate))
@@ -258,11 +251,11 @@ impl StorageSystem {
                 return Err(format!("block {bid} over-replicated"));
             }
         }
-        for i in 0..self.n() {
-            if used[i] != self.used[i] {
+        for (i, &u) in used.iter().enumerate().take(self.n()) {
+            if u != self.used[i] {
                 return Err(format!("node {i} used-count drift"));
             }
-            if used[i] > self.capacity[i] {
+            if u > self.capacity[i] {
                 return Err(format!("node {i} over capacity"));
             }
         }

@@ -21,7 +21,10 @@ fn main() {
         max_rounds: 100_000,
     };
 
-    println!("broadcasting a {}-block file to {n} nodes over dating-service dates\n", config.k);
+    println!(
+        "broadcasting a {}-block file to {n} nodes over dating-service dates\n",
+        config.k
+    );
     for (label, mode, seed) in [
         ("uncoded (random block)", TransferMode::Uncoded, 1u64),
         ("coded   (RLNC/GF256)  ", TransferMode::Coded, 1u64),

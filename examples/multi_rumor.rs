@@ -19,9 +19,18 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(21);
 
     let injections = [
-        Injection { round: 0, source: NodeId(0) },
-        Injection { round: 10, source: NodeId(333) },
-        Injection { round: 20, source: NodeId(666) },
+        Injection {
+            round: 0,
+            source: NodeId(0),
+        },
+        Injection {
+            round: 10,
+            source: NodeId(333),
+        },
+        Injection {
+            round: 20,
+            source: NodeId(666),
+        },
     ];
     println!("three rumors injected at rounds 0/10/20 on {n} nodes, shared dates\n");
     let r = run_multi_rumor(&platform, &selector, &injections, &mut rng, 100_000);
@@ -41,7 +50,8 @@ fn main() {
     for patience in [1u32, 2, 4, 8, 16] {
         let risk = residual_risk(&platform, &selector, patience, 50, 99);
         let mut rng = SmallRng::seed_from_u64(5);
-        let one = run_terminating_spread(&platform, &selector, NodeId(0), patience, &mut rng, 100_000);
+        let one =
+            run_terminating_spread(&platform, &selector, NodeId(0), patience, &mut rng, 100_000);
         println!(
             "  patience {patience:2}: residual risk {:5.1}%, example run informed {:4}/{n} in {} rounds",
             100.0 * risk,

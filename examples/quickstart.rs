@@ -19,7 +19,10 @@ fn main() {
     let service = DatingService::new(&platform, &selector);
     let mut rng = SmallRng::seed_from_u64(2008);
 
-    println!("dating service on {n} nodes, bin = bout = 1 (m = {})", platform.m());
+    println!(
+        "dating service on {n} nodes, bin = bout = 1 (m = {})",
+        platform.m()
+    );
     println!(
         "prediction: E[dates]/m = {:.4} (paper measures 'slightly more than 0.47')\n",
         analysis::expected_dates_uniform(n, n as u64, n as u64) / n as f64
@@ -51,13 +54,8 @@ fn main() {
 
     // The same service, used to spread a rumor (§3 of the paper).
     let mut spread = DatingSpread::new(&selector);
-    let result = rendezvous::gossip::run_spread(
-        &mut spread,
-        &platform,
-        NodeId(0),
-        &mut rng,
-        10_000,
-    );
+    let result =
+        rendezvous::gossip::run_spread(&mut spread, &platform, NodeId(0), &mut rng, 10_000);
     println!(
         "rumor spreading: all {n} nodes informed in {} rounds (log2 n = {:.1})",
         result.rounds,

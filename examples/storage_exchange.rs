@@ -38,7 +38,8 @@ fn main() {
     println!("crashing {failures} nodes…");
     let rec = crash_and_recover(&mut sys, &selector, failures, 4, &mut rng, 100_000);
     assert!(rec.restored);
-    sys.check_invariants().expect("storage invariants after recovery");
+    sys.check_invariants()
+        .expect("storage invariants after recovery");
     println!(
         "lost {} replicas, re-replicated in {} rounds — the dating service is the only \
          coordination mechanism involved",

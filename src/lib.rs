@@ -26,6 +26,7 @@
 //! | [`coding`] | §5 extension: GF(256) randomized network coding for rumor mongering |
 //! | [`storage`] | §5 extension: replicated storage via dating-driven block exchange |
 //! | [`sim`] | deterministic synchronous round engine, churn, metrics, parallel Monte-Carlo runner |
+//! | [`runtime`] | sans-I/O round runtime: per-node protocol state machines behind pluggable sequential / sharded-parallel / conditioned executors |
 //! | [`stats`] | Welford summaries, histograms, Poisson/Binomial/Hypergeometric/Geometric/Zipf, chi-square and KS tests |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use rendez_coding as coding;
 pub use rendez_core as core;
 pub use rendez_dht as dht;
 pub use rendez_gossip as gossip;
+pub use rendez_runtime as runtime;
 pub use rendez_sim as sim;
 pub use rendez_stats as stats;
 pub use rendez_storage as storage;
@@ -67,5 +69,8 @@ pub mod prelude {
     };
     pub use rendez_dht::DhtSelector;
     pub use rendez_gossip::{run_spread, DatingSpread, SpreadProtocol};
+    pub use rendez_runtime::{
+        Executor, RunConfig, RuntimeDating, SequentialExecutor, ShardedExecutor,
+    };
     pub use rendez_sim::NodeId;
 }

@@ -5,7 +5,12 @@
 use rendezvous::core::{verify_dates, DistributedDating, Platform, UniformSelector};
 use rendezvous::sim::{ChurnSchedule, Engine, EngineConfig, NodeId};
 
-fn run_with_churn(n: usize, cycles: u64, churn: ChurnSchedule, seed: u64) -> Vec<Vec<rendezvous::core::Date>> {
+fn run_with_churn(
+    n: usize,
+    cycles: u64,
+    churn: ChurnSchedule,
+    seed: u64,
+) -> Vec<Vec<rendezvous::core::Date>> {
     let platform = Platform::unit(n);
     let protocol = DistributedDating::new(platform, UniformSelector::new(n), cycles);
     let mut engine = Engine::new(

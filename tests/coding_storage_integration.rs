@@ -46,7 +46,14 @@ fn coded_beats_uncoded_round_count() {
             max_rounds: 100_000,
         };
         let mut rng = SmallRng::seed_from_u64(10 + seed);
-        let c = run_mongering(&platform, &selector, NodeId(0), TransferMode::Coded, cfg, &mut rng);
+        let c = run_mongering(
+            &platform,
+            &selector,
+            NodeId(0),
+            TransferMode::Coded,
+            cfg,
+            &mut rng,
+        );
         let mut rng = SmallRng::seed_from_u64(20 + seed);
         let u = run_mongering(
             &platform,
@@ -77,7 +84,11 @@ fn storage_exchange_over_dht_selector() {
     sys.check_invariants().expect("invariants");
     // Skewed DHT selection must not break load limits (capacity is the
     // hard bound; imbalance may be higher than uniform).
-    assert!(build.load_imbalance < 2.5, "imbalance {}", build.load_imbalance);
+    assert!(
+        build.load_imbalance < 2.5,
+        "imbalance {}",
+        build.load_imbalance
+    );
 }
 
 #[test]

@@ -103,7 +103,10 @@ fn pipelining_model_with_measured_hops() {
     let seq = pipeline::sequential_makespan(k, hops);
     let pip = pipeline::pipelined_makespan(k, hops);
     // §4's claim: k rounds in Θ(log n + k), vs Θ(k·log n) sequential.
-    assert!(pip < seq / 4, "pipelining gained too little: {pip} vs {seq}");
+    assert!(
+        pip < seq / 4,
+        "pipelining gained too little: {pip} vs {seq}"
+    );
     assert!(pip <= 2 * hops + 1 + k);
 }
 

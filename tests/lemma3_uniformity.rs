@@ -56,7 +56,11 @@ fn conditional_date_set_is_uniform_k_matching() {
     let counts = collect_conditional_matchings(n, k, samples, 0x13);
 
     // All 18 matchings must appear…
-    assert_eq!(counts.len(), 18, "some 2-matchings of K_{{3,3}} never occurred");
+    assert_eq!(
+        counts.len(),
+        18,
+        "some 2-matchings of K_{{3,3}} never occurred"
+    );
 
     // …with uniform frequencies (chi-square at a generous alpha, since
     // this is a single pre-seeded draw, not a repeated test).

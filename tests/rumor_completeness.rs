@@ -95,9 +95,18 @@ fn works_on_heterogeneous_c_bounded_platforms() {
     // still complete.
     let caps: Vec<NodeCaps> = (0..400)
         .map(|i| match i % 3 {
-            0 => NodeCaps { bw_in: 2, bw_out: 1 },
-            1 => NodeCaps { bw_in: 1, bw_out: 2 },
-            _ => NodeCaps { bw_in: 1, bw_out: 1 },
+            0 => NodeCaps {
+                bw_in: 2,
+                bw_out: 1,
+            },
+            1 => NodeCaps {
+                bw_in: 1,
+                bw_out: 2,
+            },
+            _ => NodeCaps {
+                bw_in: 1,
+                bw_out: 1,
+            },
         })
         .collect();
     let platform = Platform::new(caps);

@@ -1,0 +1,166 @@
+//! Runtime acceptance tests.
+//!
+//! 1. **Cross-executor equivalence**: `SequentialExecutor` and
+//!    `ShardedExecutor` produce identical informed-set traces (per-round
+//!    digests), round counts, outputs and message statistics for the same
+//!    seed — for ideal and conditioned channels alike.
+//! 2. **Statistical fidelity**: the runtime-hosted dating service draws
+//!    its date counts from the same distribution as the oracle sampler,
+//!    checked with the same KS harness as `oracle_vs_distributed`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rendezvous::prelude::*;
+use rendezvous::runtime::{
+    ConditionedExecutor, Conditions, LatencyDist, RtDatingSpread, RtPushPull,
+};
+use rendezvous::stats::ks_two_sample;
+
+#[test]
+fn spread_trace_identical_across_executors() {
+    let n = 2_000;
+    let cfg = RunConfig::seeded(0xE0).max_rounds(5_000);
+    let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+    let seq = SequentialExecutor.run(&mut proto, n, &cfg);
+    assert!(seq.completed, "spread must complete");
+
+    for shards in [2, 3, 8, 13] {
+        let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        let sh = ShardedExecutor::new(shards).run(&mut proto, n, &cfg);
+        assert_eq!(seq.rounds, sh.rounds, "round count, shards={shards}");
+        assert_eq!(
+            seq.digests, sh.digests,
+            "informed-set trace, shards={shards}"
+        );
+        assert_eq!(seq.output, sh.output, "informed history, shards={shards}");
+        assert_eq!(seq.stats, sh.stats, "message accounting, shards={shards}");
+    }
+}
+
+#[test]
+fn push_pull_trace_identical_across_executors() {
+    let n = 1_500;
+    let cfg = RunConfig::seeded(0xE1).max_rounds(1_000);
+    let mut proto = RtPushPull::new(n, NodeId(3));
+    let seq = SequentialExecutor.run(&mut proto, n, &cfg);
+    assert!(seq.completed);
+
+    let mut proto = RtPushPull::new(n, NodeId(3));
+    let sh = ShardedExecutor::new(7).run(&mut proto, n, &cfg);
+    assert_eq!(seq.digests, sh.digests);
+    assert_eq!(seq.output, sh.output);
+}
+
+#[test]
+fn conditioned_runs_are_executor_independent() {
+    // Loss and latency fates are hashed per message, so conditioning must
+    // commute with the execution strategy.
+    let n = 800;
+    let cfg = RunConfig::seeded(0xE2).max_rounds(5_000);
+    let conditions = Conditions {
+        drop_prob: 0.15,
+        latency: LatencyDist::Uniform { min: 1, max: 3 },
+    };
+    let run = |shards: Option<usize>| {
+        let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        match shards {
+            None => {
+                ConditionedExecutor::new(SequentialExecutor, conditions).run(&mut proto, n, &cfg)
+            }
+            Some(s) => ConditionedExecutor::new(ShardedExecutor::new(s), conditions)
+                .run(&mut proto, n, &cfg),
+        }
+    };
+    let seq = run(None);
+    assert!(seq.stats.dropped > 0, "loss must bite");
+    for shards in [2, 5] {
+        let sh = run(Some(shards));
+        assert_eq!(seq.digests, sh.digests, "shards={shards}");
+        assert_eq!(seq.stats, sh.stats, "shards={shards}");
+        assert_eq!(seq.output, sh.output, "shards={shards}");
+    }
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let n = 500;
+    let run = |seed: u64| {
+        let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        SequentialExecutor.run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(5_000))
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        a.digests, b.digests,
+        "different seeds must explore different runs"
+    );
+}
+
+fn oracle_samples(platform: &Platform, trials: usize, seed: u64) -> Vec<f64> {
+    let selector = UniformSelector::new(platform.n());
+    let svc = DatingService::new(platform, &selector);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ws = RoundWorkspace::new(platform.n());
+    (0..trials)
+        .map(|_| svc.run_round_with(&mut ws, &mut rng).date_count() as f64)
+        .collect()
+}
+
+fn runtime_samples(platform: &Platform, cycles: u64, seed: u64) -> Vec<f64> {
+    let n = platform.n();
+    let mut proto = RuntimeDating::new(platform.clone(), UniformSelector::new(n), cycles);
+    let rounds = proto.total_rounds();
+    let out = ShardedExecutor::new(4)
+        .run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(rounds))
+        .expect_output();
+    out.dates_per_cycle.iter().map(|&d| d as f64).collect()
+}
+
+#[test]
+fn runtime_dating_matches_oracle_distribution_unit_platform() {
+    let platform = Platform::unit(300);
+    let a = oracle_samples(&platform, 400, 0xD1);
+    let b = runtime_samples(&platform, 400, 0xD2);
+    let r = ks_two_sample(&a, &b);
+    assert!(
+        r.accepts(0.001),
+        "oracle vs runtime diverge: D={:.4} p={:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn runtime_dating_matches_oracle_distribution_heterogeneous() {
+    let platform = Platform::power_law(200, 1.0, 3.0, 9);
+    let a = oracle_samples(&platform, 400, 0xD3);
+    let b = runtime_samples(&platform, 400, 0xD4);
+    let r = ks_two_sample(&a, &b);
+    assert!(
+        r.accepts(0.001),
+        "heterogeneous: oracle vs runtime diverge: D={:.4} p={:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn runtime_transport_is_lossless_under_ideal_conditions() {
+    let n = 250u64;
+    let cycles = 20u64;
+    let mut proto = RuntimeDating::new(
+        Platform::unit(n as usize),
+        UniformSelector::new(n as usize),
+        cycles,
+    );
+    let rounds = proto.total_rounds();
+    let r = SequentialExecutor
+        .run(
+            &mut proto,
+            n as usize,
+            &RunConfig::seeded(0xD5).max_rounds(rounds),
+        )
+        .expect_output();
+    assert_eq!(r.payloads_received, r.total_dates());
+    assert_eq!(r.answers_received, 2 * n * cycles);
+}
