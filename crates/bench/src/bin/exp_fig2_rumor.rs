@@ -5,15 +5,24 @@
 //! ordering fastest→slowest: push-pull, push-fair-pull, pull, fair-pull,
 //! push, dating; dating < 2× push-fair-pull.
 //!
-//! Usage: `exp_fig2_rumor [--quick|--full] [--seed S] [--threads T] [--csv]`
+//! Engines: the default runs the legacy centralized samplers
+//! (`rendez_gossip`); `--runtime` reproduces the figure entirely on the
+//! message-passing runtime via the `Scenario` builder, and `--churn P`
+//! additionally runs every protocol with each node down a fraction `P`
+//! of rounds (source protected) — a variant only the runtime supports.
+//!
+//! Usage: `exp_fig2_rumor [--quick|--full] [--runtime] [--churn P]
+//!         [--seed S] [--threads T] [--csv]`
 
-use rendez_bench::experiments::fig2::{rumor_point, Algo};
+use rendez_bench::experiments::fig2::{rumor_point, rumor_point_runtime, Algo};
 use rendez_bench::{table, CliArgs, Table};
 
 fn main() {
     let args = CliArgs::parse();
     let seed = args.get_u64("seed", 0xF162);
     let threads = args.get_u64("threads", 0) as usize;
+    let churn = args.get_f64("churn", 0.0);
+    let runtime = args.has("runtime") || churn > 0.0;
     let default_ns: Vec<usize> = if args.has("quick") {
         vec![10, 100, 1000]
     } else {
@@ -22,7 +31,20 @@ fn main() {
     let ns = args.get_usize_list("n", &default_ns);
 
     println!("# Figure 2 — rounds to spread a single rumor (mean ± sd)");
-    println!("# seed={seed} scale={}", args.scale());
+    println!(
+        "# seed={seed} scale={} engine={}{}",
+        args.scale(),
+        if runtime {
+            "runtime (Scenario builder)"
+        } else {
+            "legacy (centralized samplers)"
+        },
+        if churn > 0.0 {
+            format!(", churn: each node down {:.0}% of rounds", churn * 100.0)
+        } else {
+            String::new()
+        }
+    );
     let mut headers = vec!["n".to_string(), "trials".to_string()];
     headers.extend(Algo::ALL.iter().map(|a| a.name().to_string()));
     let mut t = Table::new(headers, args.has("csv"));
@@ -32,7 +54,11 @@ fn main() {
         let trials = args.scaled_trials(paper_trials, 30);
         let mut row = vec![n.to_string(), trials.to_string()];
         for &a in &Algo::ALL {
-            let s = rumor_point(a, n, trials, seed ^ n as u64, threads);
+            let s = if runtime {
+                rumor_point_runtime(a, n, trials, seed ^ n as u64, threads, churn)
+            } else {
+                rumor_point(a, n, trials, seed ^ n as u64, threads)
+            };
             row.push(table::pm(s.mean, s.std_dev, 1));
         }
         t.row(row);
@@ -40,4 +66,9 @@ fn main() {
     t.print();
     println!("# paper ordering: push-pull < push-fair-pull < pull < fair-pull < push < dating");
     println!("# paper claim: dating < 2x the bandwidth-honest baselines (push, fair-pull)");
+    if runtime {
+        println!(
+            "# builder one-liner per cell: Scenario::new(n).protocol(algo.spreader()).run(seed)"
+        );
+    }
 }

@@ -3,8 +3,8 @@
 //! Checks three claims: the measured ratio matches the Poisson prediction
 //! (`≈ 0.476` at `m = n` uniform — the paper's text quotes a cruder 0.44
 //! estimate but measures >0.47); it always clears the universal `0.064·m`
-//! bucket bound; and it *increases with `m/n`* (§2: "the ratio E[X]/m is
-//! an increasing function of m/n").
+//! bucket bound; and it *increases with `m/n`* (§2: "the ratio `E[X]/m`
+//! is an increasing function of m/n").
 //!
 //! Usage: `exp_lemma1_expectation [--quick|--full] [--n N] [--seed S]`
 

@@ -1,7 +1,7 @@
 //! Message-cost experiment: total rumor transmissions per algorithm.
 //!
-//! [KSSV00] bounds PUSH&PULL's total communication by `O(n log log n)`
-//! messages; the paper's analysis "do[es] not bound the communication
+//! \[KSSV00\] bounds PUSH&PULL's total communication by `O(n log log n)`
+//! messages; the paper's analysis "do\[es\] not bound the communication
 //! cost" of dating-service spreading. This harness measures it: total
 //! rumor-carrying messages until completion, per algorithm, per `n` —
 //! making the trade-off (simplicity + bandwidth-safety vs message count)

@@ -3,7 +3,7 @@
 //! The message is split into k blocks and pushed through dating-service
 //! dates. Uncoded forwarding suffers the coupon-collector tail; RLNC over
 //! GF(256) removes it ("randomized network coding techniques have proven
-//! their efficiency" — the [DMC06] claim).
+//! their efficiency" — the \[DMC06\] claim).
 //!
 //! Usage: `exp_mongering [--quick|--full] [--n N] [--seed S]`
 

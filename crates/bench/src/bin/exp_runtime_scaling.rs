@@ -1,36 +1,41 @@
-//! Runtime scaling experiment: sequential vs sharded execution of the
-//! dating-service rumor spread at large `n`.
+//! Runtime scaling experiment: sequential vs sharded execution at large
+//! `n`, plus the full-registry determinism gate.
 //!
-//! Verifies the runtime's headline property end to end — the sharded
-//! executor is **reproducible** (same seed → identical round count, final
-//! informed set and per-round informed-set digest trace as the sequential
-//! reference) — while measuring the wall-clock speedup sharding buys.
+//! Two sections:
+//!
+//! 1. **Scaling** — the dating-service rumor spread at paper scale
+//!    (`n = 10⁵`), sequential vs sharded, measuring wall-clock speedup
+//!    while verifying the headline property end to end: same seed →
+//!    identical round count, informed history and per-round digest trace.
+//! 2. **Determinism gate** — every workload in the [`Spreader`] registry
+//!    (dating service + all seven Figure-2 spreaders), with and without
+//!    churn, run through the [`Scenario`] builder on the sequential and
+//!    sharded executors; every report must be bit-identical.
 //!
 //! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
-//!         [--shards 2,4,8] [--csv]`
+//!         [--shards 2,4,8] [--gate-n N] [--csv]`
 //!
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
 
 use rendez_bench::{CliArgs, Table};
-use rendez_core::{Platform, UniformSelector};
-use rendez_runtime::{
-    Executor, RtDatingSpread, RunConfig, RunReport, SequentialExecutor, ShardedExecutor,
-    SpreadRunSummary,
-};
-use rendez_sim::NodeId;
+use rendez_runtime::{Churn, Scenario, ScenarioReport, Spreader};
 use std::time::Instant;
 
-fn spread_run<E: Executor>(exec: &E, n: usize, seed: u64) -> (RunReport<SpreadRunSummary>, f64) {
-    let mut proto = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+fn timed_run(scenario: &Scenario, seed: u64) -> (ScenarioReport, f64) {
     let start = Instant::now();
-    let report = exec.run(&mut proto, n, &RunConfig::seeded(seed).max_rounds(10_000));
+    let report = scenario.run(seed).expect("scenario must validate");
     (report, start.elapsed().as_secs_f64())
+}
+
+fn identical(a: &ScenarioReport, b: &ScenarioReport) -> bool {
+    a.rounds == b.rounds && a.digests == b.digests && a.stats == b.stats && a.output == b.output
 }
 
 fn main() {
     let args = CliArgs::parse();
     let n = args.get_u64("n", if args.has("quick") { 10_000 } else { 100_000 }) as usize;
+    let gate_n = args.get_u64("gate-n", if args.has("quick") { 1_500 } else { 4_000 }) as usize;
     let seed = args.get_u64("seed", 0x5CA1E);
     let shard_counts = args.get_usize_list("shards", &[2, 4, 8]);
     let cores = std::thread::available_parallelism()
@@ -39,6 +44,13 @@ fn main() {
 
     println!("# Runtime scaling — dating-service rumor spread, sequential vs sharded");
     println!("# n={n} seed={seed:#x} cores={cores}");
+    if cores == 1 {
+        println!(
+            "# note: single-core host — sharded rows measure coordination \
+             overhead (expect ~0.9x, not speedup); rerun on a >= 4-core \
+             host for the parallel numbers"
+        );
+    }
 
     let mut t = Table::new(
         vec![
@@ -47,12 +59,17 @@ fn main() {
         args.has("csv"),
     );
 
-    let (seq, seq_wall) = spread_run(&SequentialExecutor, n, seed);
+    let scaling = Scenario::new(n).protocol(Spreader::Dating);
+    let (seq, seq_wall) = timed_run(&scaling, seed);
     let seq_out = seq.output.clone().expect("sequential run must complete");
     t.row(vec![
-        "sequential".to_string(),
+        scaling.executor_name(),
         seq.rounds.to_string(),
-        seq_out.final_informed().to_string(),
+        seq_out
+            .spread()
+            .expect("spread")
+            .final_informed()
+            .to_string(),
         format!("{seq_wall:.3}"),
         "1.00".to_string(),
         "reference".to_string(),
@@ -60,28 +77,78 @@ fn main() {
 
     let mut all_identical = true;
     for &shards in &shard_counts {
-        let exec = ShardedExecutor::new(shards);
-        let (sh, wall) = spread_run(&exec, n, seed);
-        let out = sh.output.clone().expect("sharded run must complete");
-        let identical = sh.rounds == seq.rounds
-            && sh.digests == seq.digests
-            && out.informed_history == seq_out.informed_history;
-        all_identical &= identical;
+        let sharded = scaling.clone().sharded(shards);
+        let (sh, wall) = timed_run(&sharded, seed);
+        let same = identical(&seq, &sh);
+        all_identical &= same;
         t.row(vec![
-            exec.name(),
+            sharded.executor_name(),
             sh.rounds.to_string(),
-            out.final_informed().to_string(),
+            sh.output
+                .as_ref()
+                .and_then(|o| o.spread())
+                .expect("sharded run must complete")
+                .final_informed()
+                .to_string(),
             format!("{wall:.3}"),
             format!("{:.2}", seq_wall / wall),
-            if identical { "identical" } else { "DIVERGED" }.to_string(),
+            if same { "identical" } else { "DIVERGED" }.to_string(),
         ]);
     }
     t.print();
 
+    // ---- Determinism gate: all eight workloads, with and without churn.
+    let gate_shards = *shard_counts.iter().max().unwrap_or(&4);
+    println!();
+    println!(
+        "# Determinism gate — every registry workload via Scenario, n={gate_n}, \
+         sequential vs sharded({gate_shards}), ideal vs churned (5% intermittent)"
+    );
+    let mut gate = Table::new(
+        vec![
+            "workload",
+            "churn",
+            "rounds",
+            "delivered",
+            "churn_lost",
+            "trace",
+        ],
+        args.has("csv"),
+    );
+    for spreader in Spreader::ALL {
+        for churned in [false, true] {
+            let scenario = {
+                let s = Scenario::new(gate_n).protocol(spreader).cycles(20);
+                if churned {
+                    s.churn(Churn::intermittent(0.05))
+                } else {
+                    s
+                }
+            };
+            let a = scenario.run(seed ^ 0x6A7E).expect("valid");
+            let b = scenario
+                .clone()
+                .sharded(gate_shards)
+                .run(seed ^ 0x6A7E)
+                .expect("valid");
+            let same = identical(&a, &b);
+            all_identical &= same;
+            gate.row(vec![
+                spreader.name().to_string(),
+                if churned { "5%" } else { "none" }.to_string(),
+                a.rounds.to_string(),
+                a.stats.delivered.to_string(),
+                a.stats.churn_lost.to_string(),
+                if same { "identical" } else { "DIVERGED" }.to_string(),
+            ]);
+        }
+    }
+    gate.print();
+
     println!(
         "# determinism: {}",
         if all_identical {
-            "every sharded run reproduced the sequential informed-set trace bit-for-bit"
+            "every sharded run reproduced its sequential trace bit-for-bit"
         } else {
             "FAILURE: executor traces diverged"
         }

@@ -1,9 +1,16 @@
 //! Figure 2 kernel: rounds to spread a single rumor, per algorithm.
+//!
+//! Two engines produce the same figure: the legacy centralized samplers
+//! in `rendez_gossip` ([`rumor_point`]) and the message-passing runtime
+//! behind the [`Scenario`] builder ([`rumor_point_runtime`]), which also
+//! supports churned variants. Both report legacy-equivalent rounds, so
+//! their columns are directly comparable.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rendez_core::{Platform, UniformSelector};
 use rendez_gossip::{run_spread, DatingSpread, FairPull, FairPushPull, Pull, Push, PushPull};
+use rendez_runtime::{Churn, Scenario, Spreader};
 use rendez_sim::{run_trials, NodeId};
 use rendez_stats::{RunningStats, Summary};
 
@@ -44,6 +51,18 @@ impl Algo {
             Algo::FairPull => "fair-pull",
             Algo::FairPushPull => "push-fair-pull",
             Algo::Dating => "dating",
+        }
+    }
+
+    /// The runtime registry workload that reproduces this algorithm.
+    pub fn spreader(&self) -> Spreader {
+        match self {
+            Algo::Push => Spreader::Push,
+            Algo::Pull => Spreader::Pull,
+            Algo::PushPull => Spreader::PushPull,
+            Algo::FairPull => Spreader::FairPull,
+            Algo::FairPushPull => Spreader::FairPushPull,
+            Algo::Dating => Spreader::Dating,
         }
     }
 }
@@ -92,6 +111,42 @@ pub fn rumor_point(algo: Algo, n: usize, trials: u64, seed: u64, threads: usize)
     RunningStats::from_iter(rounds).summary()
 }
 
+/// Same figure, produced by the message-passing runtime through the
+/// [`Scenario`] builder: mean ± sd of legacy-equivalent rounds
+/// ([`SpreadRunSummary::cycles`](rendez_runtime::SpreadRunSummary::cycles))
+/// over `trials` runs. `churn_down` > 0 runs the churned variant (each
+/// node down that fraction of rounds; the source is protected).
+pub fn rumor_point_runtime(
+    algo: Algo,
+    n: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    churn_down: f64,
+) -> Summary {
+    let scenario = {
+        let s = Scenario::new(n).protocol(algo.spreader());
+        if churn_down > 0.0 {
+            s.churn(Churn::intermittent(churn_down))
+        } else {
+            s
+        }
+    };
+    let rounds = run_trials(trials as usize, seed, threads, |t| {
+        let r = scenario.run(t.seed).expect("fig2 scenario must validate");
+        assert!(
+            r.completed,
+            "{} (runtime) did not complete at n={n}",
+            algo.name()
+        );
+        r.expect_output()
+            .spread()
+            .expect("spreading workload")
+            .cycles as f64
+    });
+    RunningStats::from_iter(rounds).summary()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +183,33 @@ mod tests {
             "dating {} vs 2× fair-pull {}",
             get(Algo::Dating),
             2.0 * get(Algo::FairPull)
+        );
+    }
+
+    #[test]
+    fn runtime_engine_agrees_with_legacy_means() {
+        let n = 500;
+        let trials = 40;
+        for algo in [Algo::PushPull, Algo::Push, Algo::FairPull] {
+            let legacy = rumor_point(algo, n, trials, 3, 0).mean;
+            let runtime = rumor_point_runtime(algo, n, trials, 4, 0, 0.0).mean;
+            assert!(
+                (runtime - legacy).abs() < 0.2 * legacy + 1.5,
+                "{}: runtime mean {runtime} vs legacy mean {legacy}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn churn_slows_runtime_spreading() {
+        let n = 400;
+        let trials = 30;
+        let clean = rumor_point_runtime(Algo::PushPull, n, trials, 9, 0, 0.0).mean;
+        let churned = rumor_point_runtime(Algo::PushPull, n, trials, 9, 0, 0.25).mean;
+        assert!(
+            churned > clean,
+            "25% downtime must cost rounds: {clean} vs {churned}"
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The source encodes over its `k` original blocks; intermediate nodes
 //! *re-encode* over whatever subspace they have received so far — the key
-//! property of RLNC [HeS+03] that makes every transmitted symbol
+//! property of RLNC \[HeS+03\] that makes every transmitted symbol
 //! innovative w.h.p. without any coordination.
 
 use crate::gf256;

@@ -7,8 +7,8 @@
 //! pipelined through the network, where "the most challenging problem
 //! consists in organizing the communications, so as to ensure that each
 //! part of the message is received exactly once. To achieve this goal,
-//! randomized network coding techniques [HeS+03] have proven their
-//! efficiency [DMC06]."
+//! randomized network coding techniques \[HeS+03\] have proven their
+//! efficiency \[DMC06\]."
 //!
 //! We build that machinery from scratch:
 //!
@@ -22,7 +22,7 @@
 //! * [`mongering`] — the dating-service mongering protocol: every date
 //!   carries one re-encoded symbol; compared against the uncoded
 //!   random-block baseline, whose coupon-collector tail the coding
-//!   removes (that is the [DMC06] effect the paper cites).
+//!   removes (that is the \[DMC06\] effect the paper cites).
 
 pub mod decoder;
 pub mod encoder;

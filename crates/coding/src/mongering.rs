@@ -9,7 +9,7 @@
 //!   missing blocks take `Θ(log k)` extra useful receptions);
 //! * [`TransferMode::Coded`] — RLNC: a sender forwards a random linear
 //!   recombination of its subspace; w.h.p. every reception at a
-//!   non-complete node is innovative, removing the tail — the [DMC06]
+//!   non-complete node is innovative, removing the tail — the \[DMC06\]
 //!   effect the paper cites.
 
 use crate::decoder::Decoder;

@@ -31,7 +31,7 @@
 //!
 //! ## Module map
 //!
-//! * [`bandwidth`] — [`Platform`](bandwidth::Platform): heterogeneous
+//! * [`bandwidth`] — [`Platform`]: heterogeneous
 //!   `bin`/`bout` capabilities with the paper's C-bounded per-node ratio;
 //! * [`selector`] — the shared request-target distribution (uniform,
 //!   alias-weighted, Zipf, hotspot, degenerate);

@@ -18,14 +18,14 @@
 //!   arc ownership (node owns `[pos, succ)`), exact arc lengths;
 //! * [`chord`] — finger tables, greedy `O(log n)` lookup with hop counts,
 //!   node join/leave with exact successors and lazily refreshed fingers;
-//! * [`selector`] — [`DhtSelector`](selector::DhtSelector): the paper's
+//! * [`selector`] — [`DhtSelector`]: the paper's
 //!   "uniform point → owner" request-targeting rule, implementing
 //!   [`rendez_core::NodeSelector`], with exact arc weights exposed for the
 //!   analytic predictions of `rendez-core::analysis`;
 //! * [`analysis`] — arc-length statistics (`max ≈ ln n / n`,
 //!   `min ≈ 1/n²` behavior, as quoted in §4);
 //! * [`naor_wieder`] — the continuous–discrete distance-halving network of
-//!   Naor & Wieder (cited as [NW03b]) as an alternative routing substrate.
+//!   Naor & Wieder (cited as \[NW03b\]) as an alternative routing substrate.
 
 pub mod analysis;
 pub mod chord;

@@ -1,6 +1,6 @@
 //! The continuous–discrete distance-halving network (Naor & Wieder).
 //!
-//! The paper cites Naor & Wieder's continuous–discrete approach ([NW03b])
+//! The paper cites Naor & Wieder's continuous–discrete approach (\[NW03b\])
 //! alongside Chord as a DHT the dating service can ride on. The network's
 //! *continuous* graph connects every point `x ∈ [0,1)` to `ℓ(x) = x/2` and
 //! `r(x) = (x+1)/2`; the *discrete* graph connects node arcs that touch

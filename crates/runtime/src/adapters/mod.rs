@@ -1,21 +1,30 @@
-//! Adapters hosting the workspace's existing protocols on the runtime.
+//! Adapters hosting the workspace's protocols on the runtime.
 //!
 //! The legacy `rendez_sim::Protocol` trait stores **all** node state in
 //! one object, which is simple but unshardable. These adapters re-express
 //! the same protocols as per-node [`RoundProtocol`](crate::RoundProtocol)
 //! state machines so any executor — sequential, sharded, conditioned —
-//! can run them. The legacy engine path keeps working untouched; the
-//! integration tests pin the adapters to it statistically (same date-count
-//! distribution as the oracle, O(log n) spreading).
+//! can run them, with or without churn. The legacy engine path keeps
+//! working untouched; the integration tests pin the adapters to it
+//! statistically (same date-count distribution as the oracle, same
+//! round-count distribution per spreader).
 //!
-//! Ported so far: the distributed dating service ([`RuntimeDating`]), the
-//! dating-based rumor spreader ([`RtDatingSpread`]) and the PUSH&PULL
-//! baseline ([`RtPushPull`]). The remaining Figure-2 baselines (push,
-//! pull, fair pull, fair push&pull, lossy dating) are listed as an open
-//! item in ROADMAP.md.
+//! All eight workloads are hosted here: the distributed dating service
+//! ([`RuntimeDating`]) and the seven Figure-2 spreaders — dating
+//! ([`RtDatingSpread`]), lossy dating ([`RtDatingSpread::with_loss`]),
+//! PUSH&PULL ([`RtPushPull`]), PUSH ([`RtPush`]), PULL ([`RtPull`]),
+//! fair PULL ([`RtFairPull`]) and fair PUSH&PULL ([`RtFairPushPull`]).
+//! Prefer constructing them through the [`Scenario`](crate::Scenario)
+//! builder, which validates sizes up front and picks the executor.
 
+mod baselines;
 mod dating;
 mod spread;
 
+pub(crate) use spread::check_loss;
+
+pub use baselines::{RtFairPull, RtFairPushPull, RtPull, RtPush};
 pub use dating::{DatingRunSummary, RuntimeDating};
-pub use spread::{RtDatingSpread, RtPushPull, SpreadNode, SpreadRunSummary};
+pub use spread::{
+    DatingSpreadMsg, GossipMsg, RtDatingSpread, RtPushPull, SpreadNode, SpreadRunSummary,
+};

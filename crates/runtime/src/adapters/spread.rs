@@ -1,12 +1,19 @@
-//! Rumor spreading hosted on the runtime: the dating-service spreader and
-//! the PUSH&PULL baseline, as true message-passing protocols.
+//! Rumor spreading hosted on the runtime: the dating-service spreader
+//! (with optional payload loss) and the PUSH&PULL baseline, as true
+//! message-passing protocols.
 //!
 //! The `rendez_gossip` implementations sample each round's communication
 //! centrally; these adapters exchange real messages, so they run on every
-//! executor and degrade gracefully under conditioning (loss, latency).
-//! Round semantics follow the Figure-2 convention: informs received in a
-//! round are buffered (`pending`) and applied at the next round start, so
-//! every decision reads the informed set as of round start.
+//! executor and degrade gracefully under conditioning (loss, latency) and
+//! churn. Every spread adapter in this crate follows the same
+//! **phase-cycle convention**: one legacy Figure-2 round is expanded into
+//! a fixed number of engine rounds (one per message hop), informs
+//! received mid-cycle are buffered (`pending`) and applied at the next
+//! cycle start, so every decision reads the informed set as of cycle
+//! start — exactly the synchronous-round semantics of
+//! `rendez_gossip::protocols`. [`SpreadRunSummary::cycles`] reports the
+//! legacy-equivalent round count, which is what the KS-agreement tests in
+//! `tests/scenario_api.rs` pin to the centralized oracle.
 
 use crate::proto::{Outbox, RoundProtocol, Verdict};
 use rand::rngs::SmallRng;
@@ -20,28 +27,41 @@ use rendez_sim::{NodeId, SplitMix64};
 /// Per-node rumor state shared by the spread adapters.
 #[derive(Debug, Default)]
 pub struct SpreadNode {
-    /// Informed as of the current round's start.
+    /// Informed as of the current cycle's start.
     pub informed: bool,
-    /// Informed mid-round; becomes `informed` at the next round start.
+    /// Informed mid-cycle; becomes `informed` at the next cycle start.
     pub pending: bool,
-    offers_inbox: Vec<NodeId>,
-    requests_inbox: Vec<NodeId>,
+    pub(crate) offers_inbox: Vec<NodeId>,
+    pub(crate) requests_inbox: Vec<NodeId>,
 }
 
 impl SpreadNode {
     /// Counts as informed for completion purposes.
-    fn knows(&self) -> bool {
+    pub(crate) fn knows(&self) -> bool {
         self.informed || self.pending
+    }
+
+    /// Start-of-run state: informed iff this is the source.
+    pub(crate) fn seeded(informed: bool) -> Self {
+        Self {
+            informed,
+            ..Self::default()
+        }
     }
 }
 
 /// What a spreading run reports on completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpreadRunSummary {
-    /// Rounds executed (for the dating spreader: engine rounds, 3/cycle).
+    /// Engine rounds executed (several per spreading cycle; see
+    /// [`cycles`](Self::cycles)).
     pub rounds: u64,
-    /// Informed-node counts; entry `t` is the state after `t` rounds
-    /// (entry 0 is the initial single-source state).
+    /// Legacy-equivalent spreading rounds: the number of Figure-2 rounds
+    /// this run corresponds to, directly comparable to
+    /// `rendez_gossip::SpreadResult::rounds`.
+    pub cycles: u64,
+    /// Informed-node counts; entry `t` is the state after `t` engine
+    /// rounds (entry 0 is the initial single-source state).
     pub informed_history: Vec<u64>,
 }
 
@@ -52,11 +72,22 @@ impl SpreadRunSummary {
     }
 }
 
-fn informed_count(nodes: &[SpreadNode]) -> u64 {
+/// Payload-loss bound — the single source of truth shared by the
+/// panicking [`RtDatingSpread::with_loss`] constructor and the typed
+/// [`ScenarioError`](crate::ScenarioError) path.
+pub(crate) fn check_loss(loss: f64) -> Result<(), &'static str> {
+    if (0.0..1.0).contains(&loss) {
+        Ok(())
+    } else {
+        Err("loss must be in [0,1)")
+    }
+}
+
+pub(crate) fn informed_count(nodes: &[SpreadNode]) -> u64 {
     nodes.iter().filter(|v| v.knows()).count() as u64
 }
 
-fn informed_digest(nodes: &[SpreadNode], round: u64) -> u64 {
+pub(crate) fn informed_digest(nodes: &[SpreadNode], round: u64) -> u64 {
     let mut h = SplitMix64::mix(round ^ 0x5EED);
     for (i, v) in nodes.iter().enumerate() {
         if v.knows() {
@@ -66,21 +97,56 @@ fn informed_digest(nodes: &[SpreadNode], round: u64) -> u64 {
     h
 }
 
-/// PUSH&PULL over explicit messages.
+/// Shared finalize for spread adapters: record history, halt when all
+/// nodes know the rumor, converting engine rounds to legacy-equivalent
+/// cycles with `cycle_len` (and `lag` trailing delivery rounds).
+pub(crate) fn spread_finalize(
+    history: &mut Vec<u64>,
+    nodes: &[SpreadNode],
+    round: u64,
+    cycle_len: u64,
+    lag: u64,
+) -> Verdict<SpreadRunSummary> {
+    if history.is_empty() {
+        history.push(1);
+    }
+    let count = informed_count(nodes);
+    history.push(count);
+    if count == nodes.len() as u64 {
+        let rounds = round + 1;
+        Verdict::Halt(SpreadRunSummary {
+            rounds,
+            cycles: rounds.saturating_sub(lag).div_ceil(cycle_len),
+            informed_history: std::mem::take(history),
+        })
+    } else {
+        Verdict::Continue
+    }
+}
+
+/// PUSH&PULL over explicit messages, phase-aligned with the legacy
+/// baseline.
 ///
-/// Per round every informed node pushes the rumor to a uniform target and
-/// every uninformed node sends a pull request to a uniform target; an
-/// informed target answers every pull request addressed to it. Unlike the
-/// centralized baseline, a pull answer takes one round to travel — the
-/// price of being a real protocol — so round counts are a constant factor
-/// above `rendez_gossip::PushPull`, not identical.
+/// One legacy round spans three engine rounds:
+///
+/// ```text
+/// phase 0: informed nodes push the rumor to a uniform target;
+///          uninformed nodes send a pull request to a uniform target
+/// phase 1: pushes land (buffered); informed targets answer every pull
+///          request addressed to them
+/// phase 2: pull answers land (buffered); next phase 0 applies them
+/// ```
+///
+/// Decisions read cycle-start state only, so the informed-set process is
+/// distribution-identical to `rendez_gossip::PushPull` per cycle —
+/// [`SpreadRunSummary::cycles`] counts exactly those legacy rounds.
 pub struct RtPushPull {
     n: usize,
     source: NodeId,
     history: Vec<u64>,
 }
 
-/// Messages of [`RtPushPull`].
+/// Messages of [`RtPushPull`] (and the other uniform-gossip baselines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GossipMsg {
     /// The rumor itself (push transmission or pull answer).
@@ -90,6 +156,9 @@ pub enum GossipMsg {
 }
 
 impl RtPushPull {
+    /// Engine rounds per spreading cycle.
+    pub const CYCLE: u64 = 3;
+
     /// PUSH&PULL over `n` nodes from `source`.
     ///
     /// # Panics
@@ -110,20 +179,20 @@ impl RoundProtocol for RtPushPull {
     type Output = SpreadRunSummary;
 
     fn init_node(&self, id: NodeId, _rng: &mut SmallRng) -> SpreadNode {
-        SpreadNode {
-            informed: id == self.source,
-            ..SpreadNode::default()
-        }
+        SpreadNode::seeded(id == self.source)
     }
 
     fn on_round_start(
         &self,
         node: &mut SpreadNode,
         _id: NodeId,
-        _round: u64,
+        round: u64,
         rng: &mut SmallRng,
         out: &mut Outbox<'_, GossipMsg>,
     ) {
+        if !round.is_multiple_of(Self::CYCLE) {
+            return;
+        }
         node.informed |= std::mem::take(&mut node.pending);
         let target = NodeId(rng.gen_range(0..self.n as u32));
         if node.informed {
@@ -145,9 +214,9 @@ impl RoundProtocol for RtPushPull {
     ) {
         match msg {
             GossipMsg::Rumor => node.pending = true,
-            // Answer from round-start knowledge only: `informed` cannot
-            // change mid-round, so delivery order within the round does
-            // not leak information.
+            // Answer from cycle-start knowledge only: `informed` cannot
+            // change mid-cycle, so delivery order does not leak
+            // information. Unfair PULL: every request is answered.
             GossipMsg::PullRequest => {
                 if node.informed {
                     out.send(from, GossipMsg::Rumor);
@@ -157,19 +226,7 @@ impl RoundProtocol for RtPushPull {
     }
 
     fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        if self.history.is_empty() {
-            self.history.push(1);
-        }
-        let count = informed_count(nodes);
-        self.history.push(count);
-        if count == nodes.len() as u64 {
-            Verdict::Halt(SpreadRunSummary {
-                rounds: round + 1,
-                informed_history: std::mem::take(&mut self.history),
-            })
-        } else {
-            Verdict::Continue
-        }
+        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
     }
 
     fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
@@ -177,17 +234,23 @@ impl RoundProtocol for RtPushPull {
     }
 }
 
-/// Rumor spreading via the dating service, as a message-passing protocol.
+/// Rumor spreading via the dating service, as a message-passing protocol,
+/// with optional i.i.d. payload loss (§5's fault-tolerance experiment).
 ///
 /// Runs the full 3-phase dating cycle of
 /// [`RuntimeDating`](crate::RuntimeDating); payloads carry a flag saying
 /// whether the sender was informed, and an informative payload informs its
 /// receiver (§3: "the rumor spreading scheme is given by the dating
-/// service algorithm"). Nodes never adapt offers/requests to rumor state.
+/// service algorithm"). Nodes never adapt offers/requests to rumor state
+/// — which is exactly why a lost payload costs one date and nothing else
+/// (no retransmission state, no stalled handshake), so
+/// [`with_loss`](Self::with_loss) is the runtime port of
+/// `rendez_gossip::LossyDating`.
 pub struct RtDatingSpread<S: NodeSelector> {
     platform: Platform,
     selector: S,
     source: NodeId,
+    loss: f64,
     history: Vec<u64>,
 }
 
@@ -211,28 +274,41 @@ pub enum DatingSpreadMsg {
 }
 
 impl<S: NodeSelector> RtDatingSpread<S> {
+    /// Engine rounds per dating cycle.
+    pub const CYCLE: u64 = 3;
+
     /// Dating-service spreading on `platform` from `source`.
     ///
     /// # Panics
     /// Panics if sizes mismatch or `source` is out of range.
     pub fn new(platform: Platform, selector: S, source: NodeId) -> Self {
+        Self::with_loss(platform, selector, source, 0.0)
+    }
+
+    /// Dating-service spreading that drops each date's payload
+    /// independently with probability `loss` (the `LossyDating` port;
+    /// `loss = 0` is behaviourally identical to [`new`](Self::new)).
+    ///
+    /// # Panics
+    /// Panics if sizes mismatch, `source` is out of range, or
+    /// `loss ∉ [0, 1)`.
+    pub fn with_loss(platform: Platform, selector: S, source: NodeId, loss: f64) -> Self {
         assert_eq!(
             platform.n(),
             selector.n(),
             "selector universe must match platform size"
         );
         assert!(source.index() < platform.n(), "source out of range");
+        if let Err(reason) = check_loss(loss) {
+            panic!("{reason}, got {loss}");
+        }
         Self {
             platform,
             selector,
             source,
+            loss,
             history: Vec::new(),
         }
-    }
-
-    /// Completed dating cycles after `rounds` engine rounds.
-    pub fn cycles_of(rounds: u64) -> u64 {
-        rounds.div_ceil(3)
     }
 }
 
@@ -242,10 +318,7 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
     type Output = SpreadRunSummary;
 
     fn init_node(&self, id: NodeId, _rng: &mut SmallRng) -> SpreadNode {
-        SpreadNode {
-            informed: id == self.source,
-            ..SpreadNode::default()
-        }
+        SpreadNode::seeded(id == self.source)
     }
 
     fn on_round_start(
@@ -257,7 +330,7 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
         out: &mut Outbox<'_, DatingSpreadMsg>,
     ) {
         node.informed |= std::mem::take(&mut node.pending);
-        if !round.is_multiple_of(3) {
+        if !round.is_multiple_of(Self::CYCLE) {
             return;
         }
         let caps = self.platform.caps(id);
@@ -278,7 +351,7 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
         from: NodeId,
         msg: DatingSpreadMsg,
         _round: u64,
-        _rng: &mut SmallRng,
+        rng: &mut SmallRng,
         out: &mut Outbox<'_, DatingSpreadMsg>,
     ) {
         match msg {
@@ -286,6 +359,12 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
             DatingSpreadMsg::Request => node.requests_inbox.push(from),
             DatingSpreadMsg::AnswerOffer(partner) => {
                 if let Some(p) = partner {
+                    // Link-fault injection: the payload of this date is
+                    // lost with probability `loss`, decided by the
+                    // sender's private stream (deterministic per run).
+                    if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+                        return;
+                    }
                     out.send(
                         p,
                         DatingSpreadMsg::Payload {
@@ -311,7 +390,7 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
         rng: &mut SmallRng,
         out: &mut Outbox<'_, DatingSpreadMsg>,
     ) {
-        if round % 3 != 1 {
+        if round % Self::CYCLE != 1 {
             return;
         }
         let offers = &mut node.offers_inbox;
@@ -334,19 +413,9 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
     }
 
     fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        if self.history.is_empty() {
-            self.history.push(1);
-        }
-        let count = informed_count(nodes);
-        self.history.push(count);
-        if count == nodes.len() as u64 {
-            Verdict::Halt(SpreadRunSummary {
-                rounds: round + 1,
-                informed_history: std::mem::take(&mut self.history),
-            })
-        } else {
-            Verdict::Continue
-        }
+        // Payloads of cycle c land at the start of round 3(c+1): one
+        // engine round of lag before cycle accounting.
+        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 1)
     }
 
     fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
@@ -370,7 +439,7 @@ mod tests {
     use rendez_core::UniformSelector;
 
     #[test]
-    fn push_pull_completes_in_logarithmic_rounds() {
+    fn push_pull_completes_in_logarithmic_cycles() {
         let n = 1024;
         let mut p = RtPushPull::new(n, NodeId(0));
         let r = SequentialExecutor.run(&mut p, n, &RunConfig::seeded(1).max_rounds(500));
@@ -378,8 +447,10 @@ mod tests {
         let out = r.expect_output();
         assert_eq!(out.final_informed(), n as u64);
         assert_eq!(out.informed_history[0], 1);
-        // Message-passing PUSH&PULL is a small constant over log2(n)=10.
-        assert!(out.rounds < 60, "took {} rounds", out.rounds);
+        // Legacy PUSH&PULL needs ~log2(n) + O(log log n) ≈ 13 rounds at
+        // n = 1024; the phase-aligned port must match that in cycles.
+        assert!(out.cycles < 25, "took {} cycles", out.cycles);
+        assert_eq!(out.rounds.div_ceil(RtPushPull::CYCLE), out.cycles);
         for w in out.informed_history.windows(2) {
             assert!(w[1] >= w[0], "informed set shrank");
         }
@@ -393,12 +464,8 @@ mod tests {
         assert!(r.completed);
         let out = r.expect_output();
         assert_eq!(out.final_informed(), n as u64);
-        // O(log n) cycles, 3 rounds each; generous cap.
-        assert!(
-            RtDatingSpread::<UniformSelector>::cycles_of(out.rounds) < 120,
-            "took {} rounds",
-            out.rounds
-        );
+        // O(log n) cycles; generous cap.
+        assert!(out.cycles < 120, "took {} cycles", out.cycles);
     }
 
     #[test]
@@ -435,6 +502,45 @@ mod tests {
     }
 
     #[test]
+    fn payload_loss_slows_spreading() {
+        // The LossyDating port: only date payloads face loss (control
+        // messages are reliable), so the protocol still completes.
+        let n = 256;
+        let cfg = RunConfig::seeded(6).max_rounds(9000);
+        let run = |loss: f64| {
+            let mut p = RtDatingSpread::with_loss(
+                Platform::unit(n),
+                UniformSelector::new(n),
+                NodeId(0),
+                loss,
+            );
+            SequentialExecutor.run(&mut p, n, &cfg).expect_output()
+        };
+        let clean = run(0.0);
+        let lossy = run(0.5);
+        assert_eq!(lossy.final_informed(), n as u64);
+        assert!(
+            lossy.cycles > clean.cycles,
+            "50% payload loss must slow spreading ({} vs {})",
+            lossy.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn zero_loss_matches_plain_constructor_exactly() {
+        let n = 200;
+        let cfg = RunConfig::seeded(8).max_rounds(5000);
+        let mut a = RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0));
+        let mut b =
+            RtDatingSpread::with_loss(Platform::unit(n), UniformSelector::new(n), NodeId(0), 0.0);
+        let ra = SequentialExecutor.run(&mut a, n, &cfg);
+        let rb = SequentialExecutor.run(&mut b, n, &cfg);
+        assert_eq!(ra.digests, rb.digests);
+        assert_eq!(ra.output, rb.output);
+    }
+
+    #[test]
     fn fast_source_informs_more_early() {
         // Theorem 10 mechanism: a high-bandwidth source is the sender of
         // up to bout(source) dates per cycle, so after the first cycle's
@@ -461,5 +567,12 @@ mod tests {
             fast > slow + 1.0,
             "fast source should lead after one cycle: fast {fast} vs slow {slow}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn certain_loss_rejected() {
+        let _ =
+            RtDatingSpread::with_loss(Platform::unit(4), UniformSelector::new(4), NodeId(0), 1.0);
     }
 }

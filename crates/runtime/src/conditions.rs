@@ -48,30 +48,37 @@ impl LatencyDist {
         }
     }
 
-    /// Check the variant's parameter invariants.
+    /// Check the variant's parameter invariants, returning the violated
+    /// rule if any. The single source of truth shared by the panicking
+    /// executor entry points ([`validate`](Self::validate)) and the typed
+    /// [`ScenarioError`](crate::ScenarioError) path.
+    pub fn check(&self) -> Result<(), &'static str> {
+        match *self {
+            LatencyDist::Fixed(l) if l < 1 => Err("latency must be at least one round"),
+            LatencyDist::Uniform { min, .. } if min < 1 => {
+                Err("latency must be at least one round")
+            }
+            LatencyDist::Uniform { min, max } if min > max => {
+                Err("Uniform latency needs min <= max")
+            }
+            LatencyDist::Geometric { p, .. } if !(p > 0.0 && p <= 1.0) => {
+                Err("Geometric latency needs p in (0,1]")
+            }
+            LatencyDist::Geometric { cap, .. } if cap < 1 => {
+                Err("latency must be at least one round")
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Assert the variant's parameter invariants.
     ///
     /// # Panics
     /// Panics on `Fixed(0)`, an empty or zero-based `Uniform` range, or a
     /// `Geometric` with `p ∉ (0, 1]` or `cap == 0`.
     pub fn validate(&self) {
-        match *self {
-            LatencyDist::Fixed(l) => {
-                assert!(l >= 1, "latency must be at least one round");
-            }
-            LatencyDist::Uniform { min, max } => {
-                assert!(min >= 1, "latency must be at least one round");
-                assert!(
-                    min <= max,
-                    "Uniform latency needs min <= max, got {min}..={max}"
-                );
-            }
-            LatencyDist::Geometric { p, cap } => {
-                assert!(
-                    p > 0.0 && p <= 1.0,
-                    "Geometric latency needs p in (0,1], got {p}"
-                );
-                assert!(cap >= 1, "latency must be at least one round");
-            }
+        if let Err(reason) = self.check() {
+            panic!("{reason}, got {self:?}");
         }
     }
 
@@ -96,7 +103,7 @@ impl LatencyDist {
 }
 
 /// Map 64 uniform bits to `[0, 1)`.
-fn to_unit(u: u64) -> f64 {
+pub(crate) fn to_unit(u: u64) -> f64 {
     (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -11,7 +11,7 @@
 //!   round's node work fanned out over scoped threads, cross-shard
 //!   message batches merged deterministically between rounds;
 //! * [`ConditionedExecutor`] — wraps any inner executor and overrides the
-//!   run's channel [`Conditions`] (loss, latency distributions).
+//!   run's channel [`Conditions`](crate::Conditions) (loss, latency distributions).
 
 mod conditioned;
 mod sequential;
@@ -82,6 +82,7 @@ pub(crate) fn validate_run(n: usize, cfg: &RunConfig) {
         cfg.conditions.drop_prob
     );
     cfg.conditions.latency.validate();
+    cfg.churn.validate();
 }
 
 #[cfg(test)]
@@ -255,6 +256,57 @@ mod tests {
         assert!(!r.completed);
         assert_eq!(r.rounds, 7);
         assert!(r.output.is_none());
+    }
+
+    #[test]
+    fn churn_suppresses_dispatch_and_delivery_identically() {
+        use crate::churn::Churn;
+        let run = |shards: Option<usize>, churn: Churn| {
+            let mut p = RandomPing {
+                n: 120,
+                target_total: 300,
+            };
+            let cfg = RunConfig::seeded(8).max_rounds(60).churn(churn);
+            match shards {
+                None => SequentialExecutor.run(&mut p, 120, &cfg),
+                Some(s) => ShardedExecutor::new(s).run(&mut p, 120, &cfg),
+            }
+        };
+        let clean = run(None, Churn::none());
+        let churned = run(None, Churn::intermittent(0.3));
+        assert_eq!(clean.stats.churn_lost, 0);
+        assert!(churned.stats.churn_lost > 0, "churn must lose messages");
+        // Down senders are not dispatched: fewer sends than the clean run
+        // over the same number of rounds.
+        assert!(churned.stats.sent < 120 * churned.rounds);
+        assert_ne!(clean.digests, churned.digests);
+        for shards in [2, 5, 9] {
+            let sh = run(Some(shards), Churn::intermittent(0.3));
+            assert_eq!(churned.digests, sh.digests, "shards={shards}");
+            assert_eq!(churned.stats, sh.stats, "shards={shards}");
+            assert_eq!(churned.rounds, sh.rounds, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn crash_stop_churn_is_permanent_and_deterministic() {
+        use crate::churn::{Churn, ChurnModel};
+        let churn = Churn::crash_stop(0.25, 20);
+        assert!(matches!(churn.model, ChurnModel::CrashStop { .. }));
+        let mut p = RandomPing {
+            n: 100,
+            target_total: u64::MAX,
+        };
+        let cfg = RunConfig::seeded(3).max_rounds(40).churn(churn);
+        let a = SequentialExecutor.run(&mut p, 100, &cfg);
+        let mut p = RandomPing {
+            n: 100,
+            target_total: u64::MAX,
+        };
+        let b = ShardedExecutor::new(7).run(&mut p, 100, &cfg);
+        assert_eq!(a.digests, b.digests);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.churn_lost > 0);
     }
 
     #[test]

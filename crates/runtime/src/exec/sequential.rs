@@ -40,16 +40,28 @@ impl Executor for SequentialExecutor {
         let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
+        let churned = !cfg.churn.is_none();
+        let mut live = vec![true; if churned { n } else { 0 }];
 
         for round in 0..cfg.max_rounds {
-            // Phase 1: round-start hooks, id order.
+            if churned {
+                cfg.churn.fill_live_mask(cfg.seed, round, 0, &mut live);
+            }
+            let up = |i: usize| !churned || live[i];
+
+            // Phase 1: round-start hooks, id order; down nodes are not
+            // dispatched (their RNG streams do not advance).
             for i in 0..n {
+                if !up(i) {
+                    continue;
+                }
                 let id = NodeId::from_index(i);
                 let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
                 proto.on_round_start(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
-            // Phase 2: deliveries due this round, (dst, src, seq) order.
+            // Phase 2: deliveries due this round, (dst, src, seq) order;
+            // a down destination loses the message.
             let mut due = buckets
                 .pop_front()
                 .map(|mut lanes| lanes.swap_remove(0))
@@ -57,6 +69,10 @@ impl Executor for SequentialExecutor {
             due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
             for env in due {
                 let i = env.dst.index();
+                if !up(i) {
+                    stats.churn_lost += 1;
+                    continue;
+                }
                 stats.delivered += 1;
                 let mut out = Outbox::new(env.dst, n, &mut seqs[i], &mut fresh);
                 proto.on_message(
@@ -70,8 +86,11 @@ impl Executor for SequentialExecutor {
                 );
             }
 
-            // Phase 3: round-end hooks, id order.
+            // Phase 3: round-end hooks, id order (down nodes skipped).
             for i in 0..n {
+                if !up(i) {
+                    continue;
+                }
                 let id = NodeId::from_index(i);
                 let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
                 proto.on_round_end(&mut nodes[i], id, round, &mut rngs[i], &mut out);

@@ -55,32 +55,55 @@ impl ShardedExecutor {
     }
 }
 
+/// A shard's round result: fresh sends, delivered count, churn-lost count.
+type ShardRound<M> = (Vec<Envelope<M>>, u64, u64);
+
 /// One shard's slice of the round: run all three phases for the nodes in
-/// `[base, base + nodes.len())`, returning the shard's fresh sends and
-/// its delivery count.
+/// `[base, base + nodes.len())`, returning the shard's fresh sends, its
+/// delivery count and its churn-lost count.
+///
+/// Churn liveness is hashed from `(seed, node, round)` into the shard's
+/// own `live` buffer (empty when churn is off) — a pure function, so no
+/// coordination with other shards is needed and the mask agrees
+/// bit-for-bit with the sequential executor's.
 #[allow(clippy::too_many_arguments)]
 fn run_shard_round<P: RoundProtocol>(
     proto: &P,
+    cfg: &RunConfig,
     n: usize,
     base: usize,
     round: u64,
     nodes: &mut [P::Node],
     rngs: &mut [SmallRng],
     seqs: &mut [u64],
+    live: &mut [bool],
     mut due: Vec<Envelope<P::Msg>>,
-) -> (Vec<Envelope<P::Msg>>, u64) {
+) -> ShardRound<P::Msg> {
     let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+    if !live.is_empty() {
+        cfg.churn.fill_live_mask(cfg.seed, round, base, live);
+    }
+    let up = |off: usize| live.is_empty() || live[off];
 
     for (off, node) in nodes.iter_mut().enumerate() {
+        if !up(off) {
+            continue;
+        }
         let id = NodeId::from_index(base + off);
         let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
         proto.on_round_start(node, id, round, &mut rngs[off], &mut out);
     }
 
     due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
-    let delivered = due.len() as u64;
+    let mut delivered = 0u64;
+    let mut churn_lost = 0u64;
     for env in due {
         let off = env.dst.index() - base;
+        if !up(off) {
+            churn_lost += 1;
+            continue;
+        }
+        delivered += 1;
         let mut out = Outbox::new(env.dst, n, &mut seqs[off], &mut fresh);
         proto.on_message(
             &mut nodes[off],
@@ -94,12 +117,15 @@ fn run_shard_round<P: RoundProtocol>(
     }
 
     for (off, node) in nodes.iter_mut().enumerate() {
+        if !up(off) {
+            continue;
+        }
         let id = NodeId::from_index(base + off);
         let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
         proto.on_round_end(node, id, round, &mut rngs[off], &mut out);
     }
 
-    (fresh, delivered)
+    (fresh, delivered, churn_lost)
 }
 
 impl Executor for ShardedExecutor {
@@ -128,6 +154,9 @@ impl Executor for ShardedExecutor {
         let mut buckets: VecDeque<Vec<Vec<Envelope<P::Msg>>>> = VecDeque::new();
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
+        // One flat liveness buffer, chunked alongside the other per-node
+        // vectors so churned rounds allocate nothing in the hot loop.
+        let mut live = vec![true; if cfg.churn.is_none() { 0 } else { n }];
 
         for round in 0..cfg.max_rounds {
             let due_by_shard = buckets
@@ -137,12 +166,15 @@ impl Executor for ShardedExecutor {
             // Fan the round out; shards own disjoint chunks of every
             // per-node vector, handed to them via chunk iterators.
             let proto_ref: &P = proto;
-            let mut shard_results: Vec<(Vec<Envelope<P::Msg>>, u64)> = Vec::with_capacity(shards);
+            let mut shard_results: Vec<ShardRound<P::Msg>> = Vec::with_capacity(shards);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(shards);
                 let node_chunks = nodes.chunks_mut(chunk);
                 let rng_chunks = rngs.chunks_mut(chunk);
                 let seq_chunks = seqs.chunks_mut(chunk);
+                // An empty mask yields no chunks; hand every shard an
+                // empty slice in that (churn-free) case.
+                let mut live_chunks = live.chunks_mut(chunk);
                 for (sidx, (((nc, rc), sc), due)) in node_chunks
                     .zip(rng_chunks)
                     .zip(seq_chunks)
@@ -150,8 +182,9 @@ impl Executor for ShardedExecutor {
                     .enumerate()
                 {
                     let base = sidx * chunk;
+                    let lc = live_chunks.next().unwrap_or(&mut []);
                     handles.push(scope.spawn(move || {
-                        run_shard_round(proto_ref, n, base, round, nc, rc, sc, due)
+                        run_shard_round(proto_ref, cfg, n, base, round, nc, rc, sc, lc, due)
                     }));
                 }
                 for h in handles {
@@ -162,8 +195,9 @@ impl Executor for ShardedExecutor {
             // Deterministic merge: iterate shards in order (so the
             // concatenation equals the sequential emission order) and
             // route each surviving message to its destination shard.
-            for (mut fresh, delivered) in shard_results {
+            for (mut fresh, delivered, churn_lost) in shard_results {
                 stats.delivered += delivered;
+                stats.churn_lost += churn_lost;
                 schedule_sends(
                     proto,
                     cfg,

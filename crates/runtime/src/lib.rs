@@ -18,9 +18,11 @@
 //!   [`ShardedExecutor`] (scoped-thread parallelism over node shards) and
 //!   [`ConditionedExecutor`] (message loss and latency distributions
 //!   layered over any inner executor);
-//! * [`adapters`] host the existing protocols — the distributed dating
-//!   service and the dating/PUSH&PULL spreaders — on the runtime, while
-//!   the legacy `rendez_sim::Protocol` path keeps working untouched.
+//! * [`adapters`] host all eight workloads — the distributed dating
+//!   service and the seven Figure-2 spreaders — on the runtime, while
+//!   the legacy `rendez_sim::Protocol` path keeps working untouched;
+//! * the [`Scenario`] builder composes workload × platform × selector ×
+//!   conditions × churn × executor behind one validated entry point.
 //!
 //! ## Determinism contract
 //!
@@ -40,37 +42,54 @@
 //!    [`Conditions`] are decided by hashing `(seed, src, seq)`, never by
 //!    consuming a shared RNG, so conditioning commutes with execution
 //!    strategy.
+//! 4. **Scheduling-free churn.** Node liveness under [`Churn`] is a bit
+//!    hashed from `(seed, node, round)`, checked at dispatch and at
+//!    delivery, so failures commute with execution strategy too.
 //!
 //! Consequently `SequentialExecutor` and `ShardedExecutor::new(k)` return
 //! identical [`RunReport`]s (rounds, output, digest trace, statistics)
 //! for every `k` — the property the `exp_runtime_scaling` experiment
 //! checks at `n = 10⁵` while measuring the parallel speedup.
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Scenario` builder
+//!
+//! [`Scenario`] is the front door: pick a workload from the
+//! [`Spreader`] registry (the dating service or any Figure-2 spreader),
+//! compose platform × selector × conditions × churn × executor, and get
+//! one unified [`RunReport`] back:
 //!
 //! ```rust
-//! use rendez_runtime::{Executor, RunConfig, RuntimeDating, SequentialExecutor,
-//!     ShardedExecutor};
-//! use rendez_core::{Platform, UniformSelector};
+//! use rendez_runtime::{Scenario, Spreader};
 //!
-//! let n = 200;
-//! let mk = || RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), 5);
-//! let cfg = RunConfig::seeded(42).max_rounds(16);
-//!
-//! let a = SequentialExecutor.run(&mut mk(), n, &cfg);
-//! let b = ShardedExecutor::new(4).run(&mut mk(), n, &cfg);
-//! assert_eq!(a.digests, b.digests);              // identical traces
-//! assert!(a.expect_output().total_dates() > 0);  // Ω(m) dates arranged
+//! let n = 500;
+//! let scenario = Scenario::new(n).protocol(Spreader::PushPull);
+//! let seq = scenario.run(42).expect("valid scenario");
+//! let par = scenario.sharded(4).run(42).expect("valid scenario");
+//! assert_eq!(seq.digests, par.digests);          // identical traces
+//! let out = seq.expect_output();
+//! assert_eq!(out.spread().unwrap().final_informed(), n as u64);
 //! ```
+//!
+//! The lower-level pieces stay public for custom protocols: implement
+//! [`RoundProtocol`] and hand it to any [`Executor`] directly.
 
 pub mod adapters;
+pub mod churn;
 pub mod conditions;
 pub mod exec;
 pub mod proto;
+pub mod registry;
 pub mod report;
+pub mod scenario;
 
-pub use adapters::{DatingRunSummary, RtDatingSpread, RtPushPull, RuntimeDating, SpreadRunSummary};
+pub use adapters::{
+    DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull, RtPull, RtPush, RtPushPull,
+    RuntimeDating, SpreadRunSummary,
+};
+pub use churn::{Churn, ChurnModel};
 pub use conditions::{Conditions, LatencyDist};
 pub use exec::{ConditionedExecutor, Executor, SequentialExecutor, ShardedExecutor};
 pub use proto::{Envelope, Outbox, RoundProtocol, Verdict};
+pub use registry::Spreader;
 pub use report::{NetStats, RunConfig, RunReport};
+pub use scenario::{Scenario, ScenarioError, ScenarioReport, WorkloadOutput};

@@ -1,11 +1,13 @@
 //! Run configuration and the executor-independent run report.
 
+use crate::churn::Churn;
 use crate::conditions::Conditions;
 
 /// Configuration shared by every executor.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
-    /// Master seed; node RNG streams and message fates derive from it.
+    /// Master seed; node RNG streams, message fates and churn liveness
+    /// all derive from it.
     pub seed: u64,
     /// Round cap: the run stops (with `completed = false`) if the
     /// protocol has not halted after this many rounds.
@@ -13,6 +15,10 @@ pub struct RunConfig {
     /// Channel conditions (ideal unless overridden — usually by wrapping
     /// the executor in [`ConditionedExecutor`](crate::ConditionedExecutor)).
     pub conditions: Conditions,
+    /// Node churn (none unless overridden). Liveness is a pure function
+    /// of `(seed, node, round)`, so churned runs stay bit-identical
+    /// across executors.
+    pub churn: Churn,
 }
 
 impl Default for RunConfig {
@@ -21,6 +27,7 @@ impl Default for RunConfig {
             seed: 0,
             max_rounds: 1_000_000,
             conditions: Conditions::ideal(),
+            churn: Churn::none(),
         }
     }
 }
@@ -39,6 +46,18 @@ impl RunConfig {
         self.max_rounds = max_rounds;
         self
     }
+
+    /// Replace the channel conditions.
+    pub fn conditions(mut self, conditions: Conditions) -> Self {
+        self.conditions = conditions;
+        self
+    }
+
+    /// Replace the churn configuration.
+    pub fn churn(mut self, churn: Churn) -> Self {
+        self.churn = churn;
+        self
+    }
 }
 
 /// Message-level accounting, aggregated over a whole run.
@@ -52,6 +71,9 @@ pub struct NetStats {
     pub delivered: u64,
     /// Messages lost to channel conditioning.
     pub dropped: u64,
+    /// Messages discarded because their destination was down (churned)
+    /// in the delivery round.
+    pub churn_lost: u64,
 }
 
 /// Everything one run produced.
@@ -77,6 +99,19 @@ impl<R> RunReport<R> {
     pub fn expect_output(self) -> R {
         self.output
             .expect("protocol did not halt within max_rounds")
+    }
+
+    /// Map the output type, keeping rounds, digests and statistics —
+    /// how [`Scenario`](crate::Scenario) unifies heterogeneous workload
+    /// outputs into one report type.
+    pub fn map<T>(self, f: impl FnOnce(R) -> T) -> RunReport<T> {
+        RunReport {
+            rounds: self.rounds,
+            completed: self.completed,
+            output: self.output.map(f),
+            digests: self.digests,
+            stats: self.stats,
+        }
     }
 }
 

@@ -1,0 +1,638 @@
+//! The `Scenario` builder: one front door to every workload the
+//! runtime can host.
+//!
+//! Every experiment in the workspace is some combination of *protocol ×
+//! platform × selector × conditions × churn × executor*. Before this
+//! module, each experiment binary hand-wired that combination; the
+//! builder makes it a typed one-liner:
+//!
+//! ```rust
+//! use rendez_runtime::{Scenario, Spreader, Churn, Conditions};
+//!
+//! let report = Scenario::new(1_000)
+//!     .protocol(Spreader::FairPushPull)
+//!     .conditions(Conditions::with_loss(0.1))
+//!     .churn(Churn::intermittent(0.05))
+//!     .sharded(4)
+//!     .run(42)
+//!     .expect("valid scenario");
+//! assert_eq!(report.output.unwrap().spread().unwrap().final_informed(), 1_000);
+//! ```
+//!
+//! Validation happens **up front**: size mismatches, out-of-range
+//! sources and malformed probabilities come back as a typed
+//! [`ScenarioError`] from [`Scenario::run`] instead of a mid-run panic
+//! deep inside an executor. The determinism contract carries over
+//! unchanged — for a fixed scenario and seed, every executor
+//! configuration returns a bit-identical [`RunReport`].
+
+use crate::adapters::{
+    DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull, RtPull, RtPush, RtPushPull,
+    RuntimeDating, SpreadRunSummary,
+};
+use crate::churn::Churn;
+use crate::conditions::Conditions;
+use crate::exec::{Executor, SequentialExecutor, ShardedExecutor};
+use crate::proto::RoundProtocol;
+use crate::registry::Spreader;
+use crate::report::{RunConfig, RunReport};
+use rendez_core::{NodeSelector, Platform, UniformSelector};
+use rendez_sim::NodeId;
+
+/// What a [`Scenario`] run can reject at validation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Fewer than two nodes: nobody to date or inform.
+    TooFewNodes {
+        /// The offending node count.
+        n: usize,
+    },
+    /// The platform's size differs from the scenario's `n`.
+    PlatformMismatch {
+        /// Platform size.
+        platform_n: usize,
+        /// Scenario size.
+        n: usize,
+    },
+    /// The selector's universe differs from the scenario's `n`.
+    SelectorMismatch {
+        /// Selector universe size.
+        selector_n: usize,
+        /// Scenario size.
+        n: usize,
+    },
+    /// The rumor source is not a node of the scenario.
+    SourceOutOfRange {
+        /// The configured source.
+        source: NodeId,
+        /// Scenario size.
+        n: usize,
+    },
+    /// Payload-loss probability outside `[0, 1)`.
+    InvalidLoss {
+        /// The offending probability.
+        loss: f64,
+    },
+    /// Channel drop probability outside `[0, 1)`.
+    InvalidDropProb {
+        /// The offending probability.
+        drop_prob: f64,
+    },
+    /// Malformed latency distribution (zero latency, empty range, …).
+    InvalidLatency {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Malformed churn model (probability outside `[0, 1)`, zero
+    /// horizon).
+    InvalidChurn {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// `Spreader::from_name` did not recognize a workload name.
+    UnknownProtocol {
+        /// The unrecognized key.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::TooFewNodes { n } => {
+                write!(f, "a scenario needs at least 2 nodes, got {n}")
+            }
+            ScenarioError::PlatformMismatch { platform_n, n } => {
+                write!(
+                    f,
+                    "platform has {platform_n} nodes but the scenario has {n}"
+                )
+            }
+            ScenarioError::SelectorMismatch { selector_n, n } => {
+                write!(
+                    f,
+                    "selector universe is {selector_n} but the scenario has {n}"
+                )
+            }
+            ScenarioError::SourceOutOfRange { source, n } => {
+                write!(f, "source {source} is outside 0..{n}")
+            }
+            ScenarioError::InvalidLoss { loss } => {
+                write!(f, "payload loss must be in [0,1), got {loss}")
+            }
+            ScenarioError::InvalidDropProb { drop_prob } => {
+                write!(f, "drop probability must be in [0,1), got {drop_prob}")
+            }
+            ScenarioError::InvalidLatency { reason } => {
+                write!(f, "invalid latency distribution: {reason}")
+            }
+            ScenarioError::InvalidChurn { reason } => write!(f, "invalid churn: {reason}"),
+            ScenarioError::UnknownProtocol { name } => {
+                write!(
+                    f,
+                    "unknown protocol {name:?}; see Spreader::ALL for the registry"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The output of a [`Scenario`] run: one enum over every workload's
+/// summary type, so the builder can return a single unified
+/// [`RunReport`] regardless of protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOutput {
+    /// Output of the [`Spreader::DatingService`] workload.
+    Dating(DatingRunSummary),
+    /// Output of any rumor-spreading workload.
+    Spread(SpreadRunSummary),
+}
+
+impl WorkloadOutput {
+    /// The dating-service summary, if this was a dating-service run.
+    pub fn dating(&self) -> Option<&DatingRunSummary> {
+        match self {
+            WorkloadOutput::Dating(d) => Some(d),
+            WorkloadOutput::Spread(_) => None,
+        }
+    }
+
+    /// The spreading summary, if this was a spreading run.
+    pub fn spread(&self) -> Option<&SpreadRunSummary> {
+        match self {
+            WorkloadOutput::Dating(_) => None,
+            WorkloadOutput::Spread(s) => Some(s),
+        }
+    }
+}
+
+/// A unified run report, whatever the workload.
+pub type ScenarioReport = RunReport<WorkloadOutput>;
+
+/// Builder for a complete runtime experiment: protocol × platform ×
+/// selector × conditions × churn × executor. See the [module
+/// docs](self) for an example and `EXPERIMENTS.md` for a one-liner per
+/// paper figure.
+///
+/// Construction never fails; [`run`](Self::run) validates the whole
+/// configuration first and returns a typed [`ScenarioError`] on
+/// nonsense. `run` borrows the scenario immutably, so one scenario can
+/// drive many seeds (Monte-Carlo trials) or executors.
+#[derive(Debug, Clone)]
+pub struct Scenario<S: NodeSelector + Clone = UniformSelector> {
+    n: usize,
+    platform: Platform,
+    selector: S,
+    protocol: Spreader,
+    conditions: Conditions,
+    churn: Churn,
+    shards: Option<usize>,
+    source: NodeId,
+    cycles: u64,
+    loss: f64,
+    max_rounds: Option<u64>,
+}
+
+impl Scenario<UniformSelector> {
+    /// A scenario over `n` nodes with the paper's defaults: unit
+    /// platform, uniform selector, the dating-service workload, ideal
+    /// channel, no churn, sequential execution, source node 0.
+    ///
+    /// Construction never fails; every misconfiguration — including
+    /// `n < 2` — is reported as a [`ScenarioError`] by
+    /// [`run`](Self::run) / [`validate`](Self::validate).
+    pub fn new(n: usize) -> Self {
+        Scenario {
+            n,
+            platform: Platform::unit(n.max(1)),
+            selector: UniformSelector::new(n.max(1)),
+            protocol: Spreader::DatingService,
+            conditions: Conditions::ideal(),
+            churn: Churn::none(),
+            shards: None,
+            source: NodeId(0),
+            cycles: 30,
+            loss: 0.2,
+            max_rounds: None,
+        }
+    }
+}
+
+impl<S: NodeSelector + Clone> Scenario<S> {
+    /// Replace the bandwidth platform (must have `n` nodes).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Replace the request-target selector — any [`NodeSelector`], e.g.
+    /// an alias-weighted or DHT-based distribution.
+    pub fn selector<T: NodeSelector + Clone>(self, selector: T) -> Scenario<T> {
+        Scenario {
+            n: self.n,
+            platform: self.platform,
+            selector,
+            protocol: self.protocol,
+            conditions: self.conditions,
+            churn: self.churn,
+            shards: self.shards,
+            source: self.source,
+            cycles: self.cycles,
+            loss: self.loss,
+            max_rounds: self.max_rounds,
+        }
+    }
+
+    /// Choose the workload (default: [`Spreader::DatingService`]).
+    pub fn protocol(mut self, protocol: Spreader) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Choose the workload by registry name (see [`Spreader::from_name`]).
+    pub fn protocol_named(self, name: &str) -> Result<Self, ScenarioError> {
+        match Spreader::from_name(name) {
+            Some(p) => Ok(self.protocol(p)),
+            None => Err(ScenarioError::UnknownProtocol {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Set channel conditions (loss probability, latency distribution).
+    pub fn conditions(mut self, conditions: Conditions) -> Self {
+        self.conditions = conditions;
+        self
+    }
+
+    /// Set node churn. For spreading workloads the source is protected
+    /// automatically unless the churn already names a protected node.
+    pub fn churn(mut self, churn: Churn) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Execute rounds shard-parallel over `k` scoped threads (`0` = one
+    /// shard per core). The report is bit-identical to sequential
+    /// execution for every `k` — that is the runtime's contract.
+    pub fn sharded(mut self, k: usize) -> Self {
+        self.shards = Some(k);
+        self
+    }
+
+    /// Execute rounds on the calling thread (the default).
+    pub fn sequential(mut self) -> Self {
+        self.shards = None;
+        self
+    }
+
+    /// Set the rumor source (default: node 0). Ignored by the
+    /// dating-service workload.
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Dating-service cycles to run (default 30). Ignored by the
+    /// spreading workloads, which halt on full information.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Payload-loss probability for [`Spreader::LossyDating`] (default
+    /// 0.2). Ignored by every other workload.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Cap on engine rounds (default: the dating service's natural
+    /// length, or a generous `3·(200 + 80·log₂ n)` for spreaders).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// The scenario's node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configured workload.
+    pub fn spreader(&self) -> Spreader {
+        self.protocol
+    }
+
+    /// Human-readable executor name, for experiment tables.
+    pub fn executor_name(&self) -> String {
+        match self.shards {
+            None => SequentialExecutor.name(),
+            Some(k) => ShardedExecutor::new(k).name(),
+        }
+    }
+
+    /// Check the whole configuration without running anything.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.n < 2 {
+            return Err(ScenarioError::TooFewNodes { n: self.n });
+        }
+        if self.platform.n() != self.n {
+            return Err(ScenarioError::PlatformMismatch {
+                platform_n: self.platform.n(),
+                n: self.n,
+            });
+        }
+        if self.selector.n() != self.n {
+            return Err(ScenarioError::SelectorMismatch {
+                selector_n: self.selector.n(),
+                n: self.n,
+            });
+        }
+        if self.protocol.is_spreading() && self.source.index() >= self.n {
+            return Err(ScenarioError::SourceOutOfRange {
+                source: self.source,
+                n: self.n,
+            });
+        }
+        if self.protocol == Spreader::LossyDating {
+            crate::adapters::check_loss(self.loss)
+                .map_err(|_| ScenarioError::InvalidLoss { loss: self.loss })?;
+        }
+        if !(0.0..1.0).contains(&self.conditions.drop_prob) {
+            return Err(ScenarioError::InvalidDropProb {
+                drop_prob: self.conditions.drop_prob,
+            });
+        }
+        // Latency and churn bounds come from the same check the
+        // executors assert, so the typed layer cannot drift from the
+        // panic layer when variants or bounds change.
+        self.conditions
+            .latency
+            .check()
+            .map_err(|reason| ScenarioError::InvalidLatency { reason })?;
+        self.churn
+            .check()
+            .map_err(|reason| ScenarioError::InvalidChurn { reason })?;
+        Ok(())
+    }
+
+    /// Validate, then execute the scenario with master seed `seed`.
+    ///
+    /// The result is a pure function of `(scenario, seed)` — the shard
+    /// count changes wall-clock time, never the report.
+    pub fn run(&self, seed: u64) -> Result<ScenarioReport, ScenarioError> {
+        self.validate()?;
+        let churn = if self.protocol.is_spreading()
+            && !self.churn.is_none()
+            && self.churn.protected.is_none()
+        {
+            // A crashed source would strand the rumor before the first
+            // date; protect it unless the caller chose otherwise.
+            self.churn.protect(self.source)
+        } else {
+            self.churn
+        };
+        let cfg = RunConfig::seeded(seed)
+            .max_rounds(self.resolve_max_rounds())
+            .conditions(self.conditions)
+            .churn(churn);
+
+        let report = match self.protocol {
+            Spreader::DatingService => {
+                let mut p =
+                    RuntimeDating::new(self.platform.clone(), self.selector.clone(), self.cycles);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Dating)
+            }
+            Spreader::Push => {
+                let mut p = RtPush::new(self.n, self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::Pull => {
+                let mut p = RtPull::new(self.n, self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::PushPull => {
+                let mut p = RtPushPull::new(self.n, self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::FairPull => {
+                let mut p = RtFairPull::new(self.n, self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::FairPushPull => {
+                let mut p = RtFairPushPull::new(self.n, self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::Dating => {
+                let mut p =
+                    RtDatingSpread::new(self.platform.clone(), self.selector.clone(), self.source);
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+            Spreader::LossyDating => {
+                let mut p = RtDatingSpread::with_loss(
+                    self.platform.clone(),
+                    self.selector.clone(),
+                    self.source,
+                    self.loss,
+                );
+                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+            }
+        };
+        Ok(report)
+    }
+
+    fn resolve_max_rounds(&self) -> u64 {
+        if let Some(m) = self.max_rounds {
+            return m;
+        }
+        match self.protocol {
+            Spreader::DatingService => 3 * self.cycles + 1,
+            // 3 engine rounds per cycle times the legacy fig2 cap.
+            _ => 3 * (200 + 80 * (self.n.max(2) as f64).log2().ceil() as u64),
+        }
+    }
+
+    fn execute<P: RoundProtocol>(&self, proto: &mut P, cfg: &RunConfig) -> RunReport<P::Output> {
+        match self.shards {
+            None => SequentialExecutor.run(proto, self.n, cfg),
+            Some(k) => ShardedExecutor::new(k).run(proto, self.n, cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::conditions::LatencyDist;
+
+    #[test]
+    fn default_scenario_runs_the_dating_service() {
+        let report = Scenario::new(100).cycles(5).run(1).expect("valid");
+        assert!(report.completed);
+        let out = report.output.expect("halted");
+        let dating = out.dating().expect("dating workload");
+        assert_eq!(dating.dates_per_cycle.len(), 5);
+        assert!(dating.total_dates() > 0);
+        assert!(out.spread().is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_and_reports() {
+        for spreader in Spreader::ALL {
+            let report = Scenario::new(64)
+                .protocol(spreader)
+                .cycles(4)
+                .run(7)
+                .unwrap_or_else(|e| panic!("{spreader}: {e}"));
+            assert!(report.completed, "{spreader} must complete");
+            let out = report.output.expect("halted");
+            if spreader.is_spreading() {
+                assert_eq!(out.spread().expect("spread").final_informed(), 64);
+            } else {
+                assert!(out.dating().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_through_the_builder() {
+        let base = Scenario::new(300).protocol(Spreader::FairPushPull);
+        let seq = base.clone().run(5).expect("valid").expect_output();
+        for k in [2, 7] {
+            let sh = base
+                .clone()
+                .sharded(k)
+                .run(5)
+                .expect("valid")
+                .expect_output();
+            assert_eq!(seq, sh, "k={k}");
+        }
+    }
+
+    #[test]
+    fn too_few_nodes_is_a_typed_error() {
+        assert_eq!(
+            Scenario::new(1).run(0).unwrap_err(),
+            ScenarioError::TooFewNodes { n: 1 }
+        );
+    }
+
+    #[test]
+    fn size_mismatches_are_typed_errors() {
+        let err = Scenario::new(10)
+            .platform(Platform::unit(12))
+            .run(0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::PlatformMismatch {
+                platform_n: 12,
+                n: 10
+            }
+        );
+        let err = Scenario::new(10)
+            .selector(UniformSelector::new(9))
+            .run(0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SelectorMismatch {
+                selector_n: 9,
+                n: 10
+            }
+        );
+    }
+
+    #[test]
+    fn bad_source_and_loss_are_typed_errors() {
+        let err = Scenario::new(10)
+            .protocol(Spreader::Push)
+            .source(NodeId(10))
+            .run(0)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::SourceOutOfRange { .. }));
+        let err = Scenario::new(10)
+            .protocol(Spreader::LossyDating)
+            .loss(1.0)
+            .run(0)
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::InvalidLoss { loss: 1.0 });
+        // The same loss on a non-lossy workload is ignored.
+        assert!(Scenario::new(10)
+            .protocol(Spreader::Push)
+            .loss(1.0)
+            .run(0)
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_conditions_are_typed_errors() {
+        let err = Scenario::new(10)
+            .conditions(Conditions {
+                drop_prob: 1.5,
+                latency: LatencyDist::Fixed(1),
+            })
+            .run(0)
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::InvalidDropProb { drop_prob: 1.5 });
+        let err = Scenario::new(10)
+            .conditions(Conditions {
+                drop_prob: 0.0,
+                latency: LatencyDist::Uniform { min: 5, max: 2 },
+            })
+            .run(0)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidLatency { .. }));
+        let err = Scenario::new(10)
+            .churn(Churn {
+                model: ChurnModel::CrashStop {
+                    fail_frac: 0.5,
+                    horizon: 0,
+                },
+                protected: None,
+            })
+            .run(0)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidChurn { .. }));
+    }
+
+    #[test]
+    fn unknown_protocol_name_is_a_typed_error() {
+        let err = Scenario::new(10).protocol_named("telepathy").unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::UnknownProtocol {
+                name: "telepathy".to_string()
+            }
+        );
+        let ok = Scenario::new(10)
+            .protocol_named("fair-pull")
+            .expect("known");
+        assert_eq!(ok.spreader(), Spreader::FairPull);
+    }
+
+    #[test]
+    fn churn_protects_the_source_by_default() {
+        // 90% crash fraction with an unprotected source would usually
+        // strand the rumor; the builder protects the source, so the
+        // informed count keeps growing past 1.
+        let report = Scenario::new(200)
+            .protocol(Spreader::Push)
+            .churn(Churn::crash_stop(0.3, 10))
+            .max_rounds(400)
+            .run(3)
+            .expect("valid");
+        let last = *report.digests.last().expect("ran rounds");
+        assert_ne!(last, report.digests[0], "informed set must grow");
+    }
+
+    #[test]
+    fn executor_names_surface() {
+        assert_eq!(Scenario::new(4).executor_name(), "sequential");
+        assert_eq!(Scenario::new(4).sharded(3).executor_name(), "sharded(3)");
+    }
+}

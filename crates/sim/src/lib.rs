@@ -13,10 +13,10 @@
 //!
 //! Components:
 //!
-//! * [`node`] — [`NodeId`](node::NodeId) and node-indexed helpers;
+//! * [`node`] — [`NodeId`] and node-indexed helpers;
 //! * [`rng`] — SplitMix64 seed derivation: one independent, reproducible
 //!   RNG stream per node, per trial, per purpose;
-//! * [`engine`] — the synchronous engine: a [`Protocol`](engine::Protocol)
+//! * [`engine`] — the synchronous engine: a [`Protocol`]
 //!   object holding all node state, per-node inboxes with a stable delivery
 //!   order, configurable latency and random message drops;
 //! * [`churn`] — crash-stop failure / recovery schedules (the paper's §1

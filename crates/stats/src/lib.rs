@@ -11,7 +11,7 @@
 //! scratch (no statistics crate is in the approved dependency set):
 //!
 //! * [`summary`] — Welford running moments, mergeable across threads, and
-//!   [`Summary`](summary::Summary) records with confidence intervals;
+//!   [`Summary`] records with confidence intervals;
 //! * [`histogram`] — fixed-bin and integer-count histograms with quantiles;
 //! * [`special`] — `ln Γ`, regularized incomplete gamma, error function and
 //!   the normal CDF, the numeric bedrock for every distribution below;

@@ -1,58 +1,111 @@
-//! Host the dating service on the sans-I/O runtime and run the same
-//! seeded workload on three executors: sequential (reference), sharded
-//! (parallel), and a conditioned lossy network.
+//! One front door to the runtime: drive the dating service and a
+//! Figure-2 spreader through the `Scenario` builder, on three executors
+//! — sequential (reference), sharded (parallel), and a lossy, churned
+//! network — and watch the determinism contract hold.
 //!
 //! Run with: `cargo run --release --example runtime_dating`
 
 use rendezvous::prelude::*;
-use rendezvous::runtime::{ConditionedExecutor, Conditions, DatingRunSummary, RunReport};
+use rendezvous::runtime::{Conditions, ScenarioReport};
 
-fn describe(label: &str, report: &RunReport<DatingRunSummary>) {
+fn describe(label: &str, report: &ScenarioReport) {
     let out = report.output.as_ref().expect("run completed");
-    let mean = if out.dates_per_cycle.is_empty() {
-        0.0
-    } else {
-        out.total_dates() as f64 / out.dates_per_cycle.len() as f64
-    };
-    println!(
-        "{label:<28} rounds={:<4} dates/cycle={mean:<8.1} payloads={:<7} sent={:<8} dropped={}",
-        report.rounds, out.payloads_received, report.stats.sent, report.stats.dropped
-    );
+    match out {
+        WorkloadOutput::Dating(d) => {
+            let mean = if d.dates_per_cycle.is_empty() {
+                0.0
+            } else {
+                d.total_dates() as f64 / d.dates_per_cycle.len() as f64
+            };
+            println!(
+                "{label:<34} rounds={:<4} dates/cycle={mean:<8.1} payloads={:<7} sent={:<8} lost={}",
+                report.rounds,
+                d.payloads_received,
+                report.stats.sent,
+                report.stats.dropped + report.stats.churn_lost,
+            );
+        }
+        WorkloadOutput::Spread(s) => {
+            println!(
+                "{label:<34} rounds={:<4} cycles={:<4} informed={:<6} sent={:<8} lost={}",
+                report.rounds,
+                s.cycles,
+                s.final_informed(),
+                report.stats.sent,
+                report.stats.dropped + report.stats.churn_lost,
+            );
+        }
+    }
 }
 
 fn main() {
     let n = 2_000;
     let cycles = 20;
-    let platform = Platform::unit(n);
-    let mk = || RuntimeDating::new(platform.clone(), UniformSelector::new(n), cycles);
-    let rounds = mk().total_rounds();
-    let cfg = RunConfig::seeded(42).max_rounds(rounds);
 
-    println!("dating service on the round runtime: n={n}, {cycles} cycles, m={n}");
-    println!("paper: Ω(m) dates per cycle; ≈0.476·m expected for uniform selection\n");
+    println!("the Scenario builder: n={n}, every workload one-liner away\n");
 
-    // Reference semantics: one thread, nodes in id order.
-    let seq = SequentialExecutor.run(&mut mk(), n, &cfg);
-    describe("sequential", &seq);
-
-    // Same run, four shards. The digest trace must match bit for bit.
-    let sharded = ShardedExecutor::new(4).run(&mut mk(), n, &cfg);
-    describe("sharded(4)", &sharded);
+    // Algorithm 1 on the runtime: sequential vs 4-way sharded must be
+    // bit-for-bit identical (the determinism contract).
+    let dating = Scenario::new(n).cycles(cycles);
+    let seq = dating.run(42).expect("valid scenario");
+    describe("dating-service sequential", &seq);
+    let sharded = dating.clone().sharded(4).run(42).expect("valid scenario");
+    describe("dating-service sharded(4)", &sharded);
     assert_eq!(seq.digests, sharded.digests);
     assert_eq!(seq.output, sharded.output);
     println!("  -> sharded trace identical to sequential: determinism contract holds\n");
 
-    // A 20%-lossy network on top of the sharded executor: offers, answers
-    // and payloads all face loss, so fewer dates complete — but the
-    // protocol needs no change at all.
-    let lossy = ConditionedExecutor::new(ShardedExecutor::new(4), Conditions::with_loss(0.2));
-    let noisy = lossy.run(&mut mk(), n, &cfg);
-    describe("sharded(4) + 20% loss", &noisy);
-    let clean_payloads = seq.output.as_ref().unwrap().payloads_received;
-    let noisy_payloads = noisy.output.as_ref().unwrap().payloads_received;
+    // A 20%-lossy channel on the same workload: offers, answers and
+    // payloads all face loss, so fewer dates complete — but neither the
+    // protocol nor the call site changes shape.
+    let noisy = dating
+        .clone()
+        .sharded(4)
+        .conditions(Conditions::with_loss(0.2))
+        .run(42)
+        .expect("valid scenario");
+    describe("dating-service + 20% loss", &noisy);
+    let clean_payloads = seq
+        .output
+        .as_ref()
+        .unwrap()
+        .dating()
+        .unwrap()
+        .payloads_received;
+    let noisy_payloads = noisy
+        .output
+        .as_ref()
+        .unwrap()
+        .dating()
+        .unwrap()
+        .payloads_received;
     println!(
-        "  -> loss cost {} of {} payloads, protocol kept running",
+        "  -> loss cost {} of {} payloads, protocol kept running\n",
         clean_payloads.saturating_sub(noisy_payloads),
         clean_payloads
     );
+
+    // Any Figure-2 spreader is the same one-liner; add churn (each node
+    // down 10% of rounds, source protected) and the rumor still lands.
+    for name in ["push-pull", "push-fair-pull", "dating"] {
+        let scenario = Scenario::new(n)
+            .protocol_named(name)
+            .expect("registry name")
+            .sharded(4);
+        let clean = scenario.run(7).expect("valid scenario");
+        describe(&format!("{name} (clean)"), &clean);
+        let churned = scenario
+            .churn(Churn::intermittent(0.10))
+            .run(7)
+            .expect("valid scenario");
+        describe(&format!("{name} (10% churn)"), &churned);
+        let (a, b) = (
+            clean.output.unwrap().spread().unwrap().cycles,
+            churned.output.unwrap().spread().unwrap().cycles,
+        );
+        println!(
+            "  -> churn cost {} extra spreading rounds\n",
+            b.saturating_sub(a)
+        );
+    }
 }

@@ -70,7 +70,8 @@ pub mod prelude {
     pub use rendez_dht::DhtSelector;
     pub use rendez_gossip::{run_spread, DatingSpread, SpreadProtocol};
     pub use rendez_runtime::{
-        Executor, RunConfig, RuntimeDating, SequentialExecutor, ShardedExecutor,
+        Churn, Executor, RunConfig, RuntimeDating, Scenario, ScenarioError, SequentialExecutor,
+        ShardedExecutor, Spreader, WorkloadOutput,
     };
     pub use rendez_sim::NodeId;
 }
