@@ -1,6 +1,11 @@
 //! Runtime executor micro-benchmarks: the same dating workload driven by
 //! the sequential and sharded executors, so a regression in either the
-//! round core or the shard merge shows up as a relative shift.
+//! round core, the shard-local routing or the splice merge shows up as a
+//! relative shift.
+//!
+//! Set `RENDEZ_BENCH_QUICK=1` to restrict to the smallest size with few
+//! samples — the CI smoke mode that keeps the harness from bit-rotting
+//! without spending CI minutes on statistics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rendez_core::{Platform, UniformSelector};
@@ -17,9 +22,11 @@ fn run_dating<E: Executor>(exec: &E, n: usize, seed: u64) -> u64 {
 }
 
 fn bench_runtime_round(c: &mut Criterion) {
+    let quick = std::env::var("RENDEZ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
     let mut g = c.benchmark_group("runtime_round");
-    g.sample_size(10);
-    for &n in &[1_000usize, 10_000] {
+    g.sample_size(if quick { 3 } else { 10 });
+    for &n in sizes {
         // One unit of throughput = one node-cycle of dating work.
         g.throughput(Throughput::Elements(CYCLES * n as u64));
         g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {

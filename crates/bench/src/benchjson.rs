@@ -1,0 +1,180 @@
+//! Machine-readable benchmark records (`BENCH_runtime.json`).
+//!
+//! The perf trajectory of the runtime hot path is tracked as a small,
+//! dependency-free JSON file emitted by `exp_runtime_scaling
+//! --bench-out PATH`: one record per `{workload, n, shards}` cell with
+//! wall-clock, ns/round and msgs/sec. CI checks that emission works
+//! headless; humans (and future sessions) diff the numbers recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! The writer is hand-rolled — the build environment is fully vendored,
+//! so no serde — and emits a stable field order to keep diffs readable.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One benchmarked `{workload, n, shards}` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Registry workload name (e.g. `dating`, `push-pull`).
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Shard count (0 = sequential executor).
+    pub shards: usize,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Messages queued by protocol code over the run.
+    pub msgs_sent: u64,
+    /// Messages delivered over the run.
+    pub msgs_delivered: u64,
+}
+
+impl BenchRecord {
+    /// Nanoseconds per executed round.
+    pub fn ns_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.wall_s * 1e9 / self.rounds as f64
+    }
+
+    /// Sent messages processed per wall-clock second — the headline
+    /// hot-path throughput number.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.msgs_sent as f64 / self.wall_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":{},\"n\":{},\"shards\":{},\"rounds\":{},\
+             \"wall_s\":{:.6},\"ns_per_round\":{:.1},\"msgs_sent\":{},\
+             \"msgs_delivered\":{},\"msgs_per_sec\":{:.1}}}",
+            json_string(&self.workload),
+            self.n,
+            self.shards,
+            self.rounds,
+            self.wall_s,
+            self.ns_per_round(),
+            self.msgs_sent,
+            self.msgs_delivered,
+            self.msgs_per_sec()
+        )
+    }
+}
+
+/// Escape a string for JSON embedding.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the full benchmark document.
+pub fn render_bench_json(cores: usize, seed: u64, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rendez-bench/runtime-v1\",\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"seed\": \"{seed:#x}\",\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the document to `path`.
+pub fn write_bench_json(
+    path: &Path,
+    cores: usize,
+    seed: u64,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_bench_json(cores, seed, records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        BenchRecord {
+            workload: "dating".to_string(),
+            n: 1000,
+            shards: 4,
+            rounds: 100,
+            wall_s: 0.5,
+            msgs_sent: 2_000_000,
+            msgs_delivered: 1_900_000,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = record();
+        assert!((r.ns_per_round() - 5_000_000.0).abs() < 1e-6);
+        assert!((r.msgs_per_sec() - 4_000_000.0).abs() < 1e-6);
+        let degenerate = BenchRecord {
+            rounds: 0,
+            wall_s: 0.0,
+            ..record()
+        };
+        assert_eq!(degenerate.ns_per_round(), 0.0);
+        assert_eq!(degenerate.msgs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn renders_valid_shape() {
+        let doc = render_bench_json(4, 0x5CA1E, &[record()]);
+        assert!(doc.contains("\"schema\": \"rendez-bench/runtime-v1\""));
+        assert!(doc.contains("\"seed\": \"0x5ca1e\""));
+        assert!(doc.contains("\"workload\":\"dating\""));
+        assert!(doc.contains("\"msgs_per_sec\":4000000.0"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "braces balance"
+        );
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let path = std::env::temp_dir().join("rendez_benchjson_test.json");
+        write_bench_json(&path, 1, 7, &[record()]).expect("write");
+        let back = std::fs::read_to_string(&path).expect("read");
+        assert!(back.contains("\"records\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,12 @@
 //! of rounds (source protected) — a variant only the runtime supports.
 //!
 //! Usage: `exp_fig2_rumor [--quick|--full] [--runtime] [--churn P]
-//!         [--seed S] [--threads T] [--csv]`
+//!         [--seed S] [--threads T] [--trials T] [--csv]`
+//!
+//! `--trials T` overrides the scaled per-point trial count — the paper-
+//! scale churn sweep (`--runtime --n 100000 --churn P --trials 5`) runs
+//! million-node-message workloads where a handful of trials already
+//! separates the churn levels cleanly.
 
 use rendez_bench::experiments::fig2::{rumor_point, rumor_point_runtime, Algo};
 use rendez_bench::{table, CliArgs, Table};
@@ -51,7 +56,7 @@ fn main() {
 
     for &n in &ns {
         let paper_trials: u64 = if n >= 10_000 { 1_000 } else { 10_000 };
-        let trials = args.scaled_trials(paper_trials, 30);
+        let trials = args.get_u64("trials", args.scaled_trials(paper_trials, 30));
         let mut row = vec![n.to_string(), trials.to_string()];
         for &a in &Algo::ALL {
             let s = if runtime {

@@ -1,24 +1,30 @@
 //! Runtime scaling experiment: sequential vs sharded execution at large
-//! `n`, plus the full-registry determinism gate.
+//! `n`, plus the full-registry determinism gate and the recorded perf
+//! baseline.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! 1. **Scaling** — the dating-service rumor spread at paper scale
 //!    (`n = 10⁵`), sequential vs sharded, measuring wall-clock speedup
-//!    while verifying the headline property end to end: same seed →
-//!    identical round count, informed history and per-round digest trace.
+//!    and message throughput while verifying the headline property end
+//!    to end: same seed → identical round count, informed history and
+//!    per-round digest trace.
 //! 2. **Determinism gate** — every workload in the [`Spreader`] registry
 //!    (dating service + all seven Figure-2 spreaders), with and without
 //!    churn, run through the [`Scenario`] builder on the sequential and
 //!    sharded executors; every report must be bit-identical.
+//! 3. **Recorded baseline** — `--bench-out PATH` additionally writes
+//!    machine-readable records (ns/round, msgs/sec per
+//!    `{workload, n, shards}`) so the hot path's perf trajectory is
+//!    tracked across PRs; see `BENCH_runtime.json` and `EXPERIMENTS.md`.
 //!
 //! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
-//!         [--shards 2,4,8] [--gate-n N] [--csv]`
+//!         [--shards 2,4,8] [--gate-n N] [--bench-out PATH] [--csv]`
 //!
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
 
-use rendez_bench::{CliArgs, Table};
+use rendez_bench::{write_bench_json, BenchRecord, CliArgs, Table};
 use rendez_runtime::{Churn, Scenario, ScenarioReport, Spreader};
 use std::time::Instant;
 
@@ -32,29 +38,44 @@ fn identical(a: &ScenarioReport, b: &ScenarioReport) -> bool {
     a.rounds == b.rounds && a.digests == b.digests && a.stats == b.stats && a.output == b.output
 }
 
+fn record(workload: &str, n: usize, shards: usize, r: &ScenarioReport, wall_s: f64) -> BenchRecord {
+    BenchRecord {
+        workload: workload.to_string(),
+        n,
+        shards,
+        rounds: r.rounds,
+        wall_s,
+        msgs_sent: r.stats.sent,
+        msgs_delivered: r.stats.delivered,
+    }
+}
+
 fn main() {
     let args = CliArgs::parse();
     let n = args.get_u64("n", if args.has("quick") { 10_000 } else { 100_000 }) as usize;
     let gate_n = args.get_u64("gate-n", if args.has("quick") { 1_500 } else { 4_000 }) as usize;
     let seed = args.get_u64("seed", 0x5CA1E);
     let shard_counts = args.get_usize_list("shards", &[2, 4, 8]);
+    let bench_out = args.get_str("bench-out", "");
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     println!("# Runtime scaling — dating-service rumor spread, sequential vs sharded");
     println!("# n={n} seed={seed:#x} cores={cores}");
     if cores == 1 {
         println!(
-            "# note: single-core host — sharded rows measure coordination \
-             overhead (expect ~0.9x, not speedup); rerun on a >= 4-core \
-             host for the parallel numbers"
+            "# note: single-core host — sharded rows measure the zero-coordinator \
+             hot path against the sequential reference (the counting-bucket \
+             delivery pass usually wins even without parallelism); rerun on a \
+             >= 4-core host for the parallel speedup numbers"
         );
     }
 
     let mut t = Table::new(
         vec![
-            "executor", "rounds", "informed", "wall_s", "speedup", "trace",
+            "executor", "rounds", "informed", "wall_s", "speedup", "Mmsg/s", "trace",
         ],
         args.has("csv"),
     );
@@ -62,6 +83,7 @@ fn main() {
     let scaling = Scenario::new(n).protocol(Spreader::Dating);
     let (seq, seq_wall) = timed_run(&scaling, seed);
     let seq_out = seq.output.clone().expect("sequential run must complete");
+    let seq_rec = record("dating", n, 0, &seq, seq_wall);
     t.row(vec![
         scaling.executor_name(),
         seq.rounds.to_string(),
@@ -72,8 +94,10 @@ fn main() {
             .to_string(),
         format!("{seq_wall:.3}"),
         "1.00".to_string(),
+        format!("{:.2}", seq_rec.msgs_per_sec() / 1e6),
         "reference".to_string(),
     ]);
+    records.push(seq_rec);
 
     let mut all_identical = true;
     for &shards in &shard_counts {
@@ -81,6 +105,7 @@ fn main() {
         let (sh, wall) = timed_run(&sharded, seed);
         let same = identical(&seq, &sh);
         all_identical &= same;
+        let rec = record("dating", n, shards, &sh, wall);
         t.row(vec![
             sharded.executor_name(),
             sh.rounds.to_string(),
@@ -92,8 +117,10 @@ fn main() {
                 .to_string(),
             format!("{wall:.3}"),
             format!("{:.2}", seq_wall / wall),
+            format!("{:.2}", rec.msgs_per_sec() / 1e6),
             if same { "identical" } else { "DIVERGED" }.to_string(),
         ]);
+        records.push(rec);
     }
     t.print();
 
@@ -125,14 +152,15 @@ fn main() {
                     s
                 }
             };
-            let a = scenario.run(seed ^ 0x6A7E).expect("valid");
-            let b = scenario
-                .clone()
-                .sharded(gate_shards)
-                .run(seed ^ 0x6A7E)
-                .expect("valid");
+            let (a, seq_wall) = timed_run(&scenario, seed ^ 0x6A7E);
+            let sharded = scenario.clone().sharded(gate_shards);
+            let (b, sh_wall) = timed_run(&sharded, seed ^ 0x6A7E);
             let same = identical(&a, &b);
             all_identical &= same;
+            if !churned {
+                records.push(record(spreader.name(), gate_n, 0, &a, seq_wall));
+                records.push(record(spreader.name(), gate_n, gate_shards, &b, sh_wall));
+            }
             gate.row(vec![
                 spreader.name().to_string(),
                 if churned { "5%" } else { "none" }.to_string(),
@@ -153,5 +181,12 @@ fn main() {
             "FAILURE: executor traces diverged"
         }
     );
+
+    if !bench_out.is_empty() {
+        let path = std::path::Path::new(&bench_out);
+        write_bench_json(path, cores, seed, &records)
+            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        println!("# wrote {} benchmark records to {bench_out}", records.len());
+    }
     assert!(all_identical, "sharded executor diverged from sequential");
 }

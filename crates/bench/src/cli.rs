@@ -58,6 +58,14 @@ impl CliArgs {
             .unwrap_or(default)
     }
 
+    /// `--name value` as a string (e.g. an output path).
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
     /// `--name X` as f64.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.values
@@ -125,6 +133,13 @@ mod tests {
         assert_eq!(a.get_u64("seed", 7), 7);
         assert_eq!(a.get_f64("alpha", 0.5), 0.5);
         assert_eq!(a.get_usize_list("n", &[3, 4]), vec![3, 4]);
+        assert_eq!(a.get_str("bench-out", "BENCH.json"), "BENCH.json");
+    }
+
+    #[test]
+    fn string_values_pass_through() {
+        let a = args(&["--bench-out", "out/BENCH_runtime.json"]);
+        assert_eq!(a.get_str("bench-out", "x"), "out/BENCH_runtime.json");
     }
 
     #[test]

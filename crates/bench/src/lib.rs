@@ -13,9 +13,11 @@
 //! * `--full`  — the paper's full trial counts;
 //! * `--seed N`, `--threads N`, `--csv` — reproducibility and output.
 
+pub mod benchjson;
 pub mod cli;
 pub mod experiments;
 pub mod table;
 
+pub use benchjson::{write_bench_json, BenchRecord};
 pub use cli::CliArgs;
 pub use table::Table;

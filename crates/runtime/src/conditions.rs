@@ -156,6 +156,15 @@ impl Conditions {
         self.drop_prob == 0.0 && self.latency == LatencyDist::Fixed(1)
     }
 
+    /// Number of delivery slots a round's sends can spread over: a
+    /// message sent in round `t` is due in `t + l` with
+    /// `1 ≤ l ≤ max_latency`, i.e. slot `l − 1` of `0..latency_slots()`.
+    /// Executors use this to pre-size their slot buckets so the hot loop
+    /// never grows them.
+    pub fn latency_slots(&self) -> usize {
+        self.latency.max_latency() as usize
+    }
+
     /// Decide the fate of `envelope` in the run keyed by `seed`:
     /// `None` = lost, `Some(l)` = delivered `l ≥ 1` rounds after sending.
     ///
@@ -247,6 +256,21 @@ mod tests {
         assert_eq!(LatencyDist::Fixed(3).max_latency(), 3);
         assert_eq!(LatencyDist::Uniform { min: 1, max: 9 }.max_latency(), 9);
         assert_eq!(LatencyDist::Geometric { p: 0.1, cap: 40 }.max_latency(), 40);
+    }
+
+    #[test]
+    fn latency_slots_cover_every_possible_fate() {
+        for cond in [
+            Conditions::ideal(),
+            Conditions::with_latency(LatencyDist::Uniform { min: 2, max: 6 }),
+            Conditions::with_latency(LatencyDist::Geometric { p: 0.4, cap: 12 }),
+        ] {
+            let slots = cond.latency_slots();
+            for s in 0..2_000 {
+                let l = cond.fate(9, &env(1, s)).expect("lossless");
+                assert!(((l - 1) as usize) < slots, "latency {l} vs {slots} slots");
+            }
+        }
     }
 
     #[test]

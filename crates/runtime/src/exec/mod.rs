@@ -7,9 +7,10 @@
 //!
 //! * [`SequentialExecutor`] — one thread, nodes in id order; the
 //!   reference semantics every other executor is tested against;
-//! * [`ShardedExecutor`] — nodes partitioned into contiguous shards, each
-//!   round's node work fanned out over scoped threads, cross-shard
-//!   message batches merged deterministically between rounds;
+//! * [`ShardedExecutor`] — nodes partitioned into contiguous shards, a
+//!   persistent worker thread per shard; workers decide message fate and
+//!   route sends shard-locally, and the coordinator only splices whole
+//!   buckets between rounds;
 //! * [`ConditionedExecutor`] — wraps any inner executor and overrides the
 //!   run's channel [`Conditions`](crate::Conditions) (loss, latency distributions).
 
@@ -45,15 +46,20 @@ pub trait Executor {
 
 /// Decide the fate of every envelope in `fresh` (in place, draining it)
 /// and file survivors into `buckets`, where `buckets[k]` holds messages
-/// due `k + 1` rounds from now. `route` maps an envelope to its
-/// destination sub-bucket (shard index; 0 for sequential execution).
+/// due `k + 1` rounds from now. Drained bucket `Vec`s are recycled
+/// through `free` so steady-state rounds allocate nothing.
+///
+/// This is the **sequential** executor's filing path; it is the only
+/// per-envelope loop that runs on a coordinating thread. The sharded
+/// executor files sends inside its shard workers (see
+/// [`sharded`](self::sharded)) and its coordinator splices whole
+/// buckets without touching individual messages.
 pub(crate) fn schedule_sends<P: RoundProtocol>(
     proto: &P,
     cfg: &RunConfig,
     fresh: &mut Vec<Envelope<P::Msg>>,
-    buckets: &mut VecDeque<Vec<Vec<Envelope<P::Msg>>>>,
-    lanes: usize,
-    route: impl Fn(&Envelope<P::Msg>) -> usize,
+    buckets: &mut VecDeque<Vec<Envelope<P::Msg>>>,
+    free: &mut Vec<Vec<Envelope<P::Msg>>>,
     stats: &mut NetStats,
 ) {
     for env in fresh.drain(..) {
@@ -64,10 +70,9 @@ pub(crate) fn schedule_sends<P: RoundProtocol>(
             Some(latency) => {
                 let slot = (latency - 1) as usize;
                 while buckets.len() <= slot {
-                    buckets.push_back((0..lanes).map(|_| Vec::new()).collect());
+                    buckets.push_back(free.pop().unwrap_or_default());
                 }
-                let lane = route(&env);
-                buckets[slot][lane].push(env);
+                buckets[slot].push(env);
             }
         }
     }
@@ -197,6 +202,86 @@ mod tests {
                 assert_eq!(seq.digests, sh.digests, "shards={shards}");
                 assert_eq!(seq.stats, sh.stats, "shards={shards}");
             }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_matches_sequential() {
+        // chunk = 1: every node is its own shard and the splice merge
+        // degenerates to n single-element lanes. Also exercises shard
+        // counts that do not divide n.
+        for n in [1, 2, 3, 5] {
+            let seq = run_with(&SequentialExecutor, n, 11);
+            for shards in [n + 1, 4 * n + 3, 64] {
+                let sh = run_with(&ShardedExecutor::new(shards), n, 11);
+                assert_eq!(seq.digests, sh.digests, "n={n} shards={shards}");
+                assert_eq!(seq.stats, sh.stats, "n={n} shards={shards}");
+                assert_eq!(seq.output, sh.output, "n={n} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_slots_beyond_the_final_round_are_discarded_identically() {
+        // Every message takes 10 rounds but the run is capped at 4:
+        // nothing is ever delivered, the full latency window stays in
+        // flight at exit, and both executors must agree on that.
+        let cond = Conditions::with_latency(LatencyDist::Fixed(10));
+        let run = |shards: Option<usize>| {
+            let mut p = RandomPing {
+                n: 40,
+                target_total: 1,
+            };
+            let cfg = RunConfig::seeded(13).max_rounds(4);
+            match shards {
+                None => ConditionedExecutor::new(SequentialExecutor, cond).run(&mut p, 40, &cfg),
+                Some(s) => {
+                    ConditionedExecutor::new(ShardedExecutor::new(s), cond).run(&mut p, 40, &cfg)
+                }
+            }
+        };
+        let seq = run(None);
+        assert!(!seq.completed);
+        assert_eq!(seq.stats.sent, 40 * 4);
+        assert_eq!(seq.stats.delivered, 0, "latency 10 > 4 rounds");
+        assert_eq!(seq.stats.dropped, 0);
+        for shards in [3, 8, 64] {
+            let sh = run(Some(shards));
+            assert_eq!(seq.digests, sh.digests, "shards={shards}");
+            assert_eq!(seq.stats, sh.stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn mixed_send_rounds_in_one_bucket_deliver_in_sequential_order() {
+        // Uniform latency interleaves several send rounds into one
+        // delivery bucket — the splice merge's `mixed` path. The spread
+        // (min 1, max 6) guarantees in-flight messages at halt too.
+        let cond = Conditions::with_latency(LatencyDist::Uniform { min: 1, max: 6 });
+        let run = |shards: Option<usize>| {
+            let mut p = RandomPing {
+                n: 90,
+                target_total: 400,
+            };
+            let cfg = RunConfig::seeded(17).max_rounds(200);
+            match shards {
+                None => ConditionedExecutor::new(SequentialExecutor, cond).run(&mut p, 90, &cfg),
+                Some(s) => {
+                    ConditionedExecutor::new(ShardedExecutor::new(s), cond).run(&mut p, 90, &cfg)
+                }
+            }
+        };
+        let seq = run(None);
+        assert!(seq.completed);
+        assert!(
+            seq.stats.delivered < seq.stats.sent,
+            "some messages must still be in flight at halt"
+        );
+        for shards in [2, 7, 13] {
+            let sh = run(Some(shards));
+            assert_eq!(seq.digests, sh.digests, "shards={shards}");
+            assert_eq!(seq.stats, sh.stats, "shards={shards}");
+            assert_eq!(seq.output, sh.output, "shards={shards}");
         }
     }
 

@@ -34,9 +34,10 @@ impl Executor for SequentialExecutor {
             .collect();
 
         // `buckets[k]` holds messages due `k` rounds after the current
-        // pop; the single lane keeps the layout identical to the sharded
-        // executor's (lane = shard) so `schedule_sends` is shared.
-        let mut buckets: VecDeque<Vec<Vec<Envelope<P::Msg>>>> = VecDeque::new();
+        // pop; drained bucket vectors cycle through `free` so the loop
+        // stops allocating once the latency window is warm.
+        let mut buckets: VecDeque<Vec<Envelope<P::Msg>>> = VecDeque::new();
+        let mut free: Vec<Vec<Envelope<P::Msg>>> = Vec::new();
         let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
@@ -62,12 +63,9 @@ impl Executor for SequentialExecutor {
 
             // Phase 2: deliveries due this round, (dst, src, seq) order;
             // a down destination loses the message.
-            let mut due = buckets
-                .pop_front()
-                .map(|mut lanes| lanes.swap_remove(0))
-                .unwrap_or_default();
+            let mut due = buckets.pop_front().unwrap_or_default();
             due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
-            for env in due {
+            for env in due.drain(..) {
                 let i = env.dst.index();
                 if !up(i) {
                     stats.churn_lost += 1;
@@ -96,8 +94,10 @@ impl Executor for SequentialExecutor {
                 proto.on_round_end(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
-            // File this round's sends and close out the round.
-            schedule_sends(proto, cfg, &mut fresh, &mut buckets, 1, |_| 0, &mut stats);
+            // Recycle the drained delivery bucket, then file this
+            // round's sends and close out the round.
+            free.push(due);
+            schedule_sends(proto, cfg, &mut fresh, &mut buckets, &mut free, &mut stats);
             digests.push(proto.digest(&nodes, round));
             if let Verdict::Halt(output) = proto.finalize(&nodes, round) {
                 return RunReport {

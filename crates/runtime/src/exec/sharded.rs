@@ -1,31 +1,87 @@
-//! The shard-parallel executor.
+//! The shard-parallel executor: persistent workers, shard-local routing,
+//! a coordinator that touches only pointers.
 //!
-//! Nodes are partitioned into contiguous shards. Within a round every
-//! shard runs the full phase schedule (round-start → deliveries →
-//! round-end) for its own nodes on its own scoped thread; no locks are
-//! taken, because a shard owns its nodes' state, RNG streams and send
-//! counters outright, and the messages it must deliver were routed to it
-//! when the previous round's sends were filed.
+//! Nodes are partitioned into contiguous shards. One **persistent worker
+//! thread per shard** lives for the whole run (spawned once, not once per
+//! round), parked on a channel between rounds. Within a round every
+//! worker runs the full phase schedule (round-start → deliveries →
+//! round-end) for its own nodes, then — still on the worker — decides
+//! every sent message's fate (loss, latency) and buckets survivors by
+//! `[latency_slot][destination_shard]`. The coordinator's merge is a
+//! splice: it moves whole bucket `Vec`s into the global delivery queue in
+//! shard order and sums five shard-local counters per shard
+//! ([`NetStats::absorb`]). No per-envelope work happens on the
+//! coordinating thread.
 //!
-//! Determinism relative to [`SequentialExecutor`](super::SequentialExecutor)
-//! follows from three facts:
+//! # Determinism
 //!
-//! 1. node callbacks touch exactly one node's state and RNG stream, so
-//!    running disjoint node ranges concurrently cannot interleave state;
-//! 2. each shard sorts its deliveries by `(dst, src, seq)` — and since
-//!    shards are contiguous id ranges, the concatenation of the shard
-//!    orders **is** the sequential executor's global order;
-//! 3. per-message fate (loss, latency) is a pure function of
-//!    `(seed, src, seq)`, so routing/merging order cannot perturb it.
+//! Traces are bit-identical to
+//! [`SequentialExecutor`](super::SequentialExecutor) — same digests,
+//! output, round count and statistics for every shard count. The
+//! invariants, in dependency order:
+//!
+//! 1. **Node isolation.** Callbacks touch exactly one node's state and
+//!    private RNG stream, so running disjoint node ranges concurrently
+//!    cannot interleave state.
+//! 2. **Fate purity.** A message's loss/latency is a pure function of
+//!    `(seed, src, seq)` ([`Conditions::fate`](crate::Conditions::fate)),
+//!    and its `(src, seq)` identity is assigned by protocol behaviour
+//!    alone. Moving the fate decision from the coordinator into the
+//!    sending shard therefore cannot change any outcome — only *where*
+//!    the same hash is computed.
+//! 3. **Splice order = sequential emission order.** Shards are contiguous
+//!    id ranges processed in shard order by the coordinator's merge, and
+//!    each shard's routed buckets are `(src, seq)`-sorted (a stable
+//!    counting pass by source, below). Concatenating shard buckets in
+//!    shard order therefore yields exactly the sequential executor's
+//!    per-bucket content and order.
+//! 4. **Delivery order.** Messages due in a round are consumed in
+//!    `(dst, src, seq)` order. When a delivery bucket was filled by a
+//!    single send round (always true under fixed latency, in particular
+//!    the paper's synchronous model), its concatenated segments are
+//!    already `(src, seq)`-sorted, so one stable counting pass by
+//!    destination reproduces the full `(dst, src, seq)` sort in
+//!    `O(m + shard_width)` with no comparison sort. Buckets that mixed
+//!    several send rounds (latency distributions with spread) carry a
+//!    `mixed` flag and fall back to an explicit sort — same order, just
+//!    paid for only when latency actually interleaves rounds.
+//!
+//! # Memory discipline
+//!
+//! Bucket `Vec`s cycle rather than churn: a worker's routed bucket is
+//! moved (pointer-level) into the coordinator's queue, later handed to
+//! the destination shard as a delivery segment, drained there, and kept
+//! in that worker's free pool to back its next routed buckets. Steady
+//! state rounds perform no envelope-buffer allocation.
+//!
+//! # Safety model
+//!
+//! Workers access their chunk of the per-node state (`nodes`, `rngs`,
+//! `seqs`, `live`) and the shared protocol object through raw pointers
+//! ([`ShardHandle`]), because the coordinator must also view all node
+//! state between rounds (`digest`/`finalize` take `&[Node]`) — a shape
+//! the borrow checker cannot express across persistent threads. The
+//! aliasing discipline is temporal and enforced by the round protocol:
+//!
+//! * a worker materializes `&mut` slices **only** between receiving a
+//!   round task and sending its result;
+//! * the coordinator materializes views **only** after receiving every
+//!   shard's result for the round (all workers are then parked on
+//!   channel `recv`, which provides the happens-before edges).
+//!
+//! Chunks are disjoint by construction (`base..base + len` with
+//! non-overlapping ranges), every pointer derives from the single
+//! original allocation, and the owning vectors outlive the worker scope.
 
-use super::{schedule_sends, validate_run, Executor};
+use super::{validate_run, Executor};
 use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
-/// Executes each round shard-parallel over scoped threads.
+/// Executes rounds over a persistent pool of shard worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedExecutor {
     shards: usize,
@@ -55,56 +111,210 @@ impl ShardedExecutor {
     }
 }
 
-/// A shard's round result: fresh sends, delivered count, churn-lost count.
-type ShardRound<M> = (Vec<Envelope<M>>, u64, u64);
+/// Cap on a worker's free pool of recycled envelope buffers.
+const POOL_CAP: usize = 64;
 
-/// One shard's slice of the round: run all three phases for the nodes in
-/// `[base, base + nodes.len())`, returning the shard's fresh sends, its
-/// delivery count and its churn-lost count.
-///
-/// Churn liveness is hashed from `(seed, node, round)` into the shard's
-/// own `live` buffer (empty when churn is off) — a pure function, so no
-/// coordination with other shards is needed and the mask agrees
-/// bit-for-bit with the sequential executor's.
+/// A shard's routed sends for one round: `routed[slot][dest_shard]`,
+/// each inner bucket `(src, seq)`-sorted. Slot `k` is due `k + 1`
+/// rounds after the current one.
+type Routed<M> = Vec<Vec<Vec<Envelope<M>>>>;
+
+/// Work order for one shard round.
+struct Task<M> {
+    round: u64,
+    /// Delivery segments due this round for this shard, in splice order.
+    due: Vec<Vec<Envelope<M>>>,
+    /// Whether `due` accumulated sends from more than one send round
+    /// (breaks the concatenated `(src, seq)` pre-sort; see module docs).
+    mixed: bool,
+    /// The routed structure this shard returned last round, hollowed by
+    /// the coordinator's splice — ping-ponged back so the skeleton's
+    /// allocations (outer slot `Vec`, per-slot lane `Vec`s) are reused
+    /// instead of rebuilt every round. Empty on the first round.
+    skeleton: Routed<M>,
+}
+
+/// One shard's round result.
+struct RoundOut<M> {
+    routed: Routed<M>,
+    tally: NetStats,
+}
+
+/// Raw, `Send`-able handle to one shard's disjoint chunk of the run
+/// state plus the shared protocol object. See the module-level safety
+/// model for the access protocol that makes dereferencing sound.
+struct ShardHandle<P: RoundProtocol> {
+    base: usize,
+    len: usize,
+    nodes: *mut P::Node,
+    rngs: *mut SmallRng,
+    seqs: *mut u64,
+    /// Null iff churn is off (no liveness mask is kept then).
+    live: *mut bool,
+    proto: *const P,
+}
+
+// SAFETY: the handle is a bundle of raw pointers into vectors owned by
+// the coordinating thread for longer than the worker scope. `P::Node`,
+// `SmallRng`, `u64` and `bool` are `Send`, `P: Sync` (trait bound), and
+// the round protocol (module docs) guarantees exclusive, synchronized
+// access.
+unsafe impl<P: RoundProtocol> Send for ShardHandle<P> {}
+
+/// Worker-persistent scratch: emission buffer, counting-sort counters
+/// and output, and the free pool of recycled envelope buffers.
+struct Scratch<M> {
+    fresh: Vec<Envelope<M>>,
+    sorted: Vec<Envelope<M>>,
+    counts: Vec<u32>,
+    pool: Vec<Vec<Envelope<M>>>,
+}
+
+impl<M> Scratch<M> {
+    fn new() -> Self {
+        Self {
+            fresh: Vec::new(),
+            sorted: Vec::new(),
+            counts: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+}
+
+/// Keep a drained buffer in `pool` for reuse (bounded, so a bursty
+/// round cannot pin memory forever).
+fn recycle<M>(pool: &mut Vec<Vec<Envelope<M>>>, mut v: Vec<Envelope<M>>) {
+    if pool.len() < POOL_CAP && v.capacity() > 0 {
+        v.clear();
+        pool.push(v);
+    }
+}
+
+/// Stable counting bucket pass: drain `segments` (in order) into `out`,
+/// grouped by `key` (an offset in `0..width`), preserving arrival order
+/// within each group. `O(m + width)` with zero comparisons.
+fn counting_bucket<M>(
+    segments: &mut [Vec<Envelope<M>>],
+    width: usize,
+    counts: &mut Vec<u32>,
+    out: &mut Vec<Envelope<M>>,
+    key: impl Fn(&Envelope<M>) -> usize,
+) {
+    out.clear();
+    counts.clear();
+    counts.resize(width, 0);
+    let total: usize = segments.iter().map(Vec::len).sum();
+    if total == 0 {
+        return;
+    }
+    out.reserve(total);
+    for seg in segments.iter() {
+        for env in seg {
+            counts[key(env)] += 1;
+        }
+    }
+    // Exclusive prefix sums: counts[k] becomes group k's write cursor.
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = acc;
+        acc += here;
+    }
+    // SAFETY: the write positions `counts[key] + within-group arrival
+    // index` are a permutation of `0..total` (counts were exact), so
+    // every reserved slot is initialized exactly once before `set_len`,
+    // and no envelope is dropped or duplicated.
+    let base = out.as_mut_ptr();
+    for seg in segments.iter_mut() {
+        for env in seg.drain(..) {
+            let k = key(&env);
+            let pos = counts[k] as usize;
+            counts[k] += 1;
+            unsafe { base.add(pos).write(env) };
+        }
+    }
+    unsafe { out.set_len(total) };
+}
+
+/// One shard's full round: the three phase hooks for the nodes in
+/// `[base, base + len)`, then fate + routing of the shard's own sends.
+/// Runs entirely on the shard's worker thread.
 #[allow(clippy::too_many_arguments)]
 fn run_shard_round<P: RoundProtocol>(
-    proto: &P,
+    h: &ShardHandle<P>,
     cfg: &RunConfig,
     n: usize,
-    base: usize,
-    round: u64,
-    nodes: &mut [P::Node],
-    rngs: &mut [SmallRng],
-    seqs: &mut [u64],
-    live: &mut [bool],
-    mut due: Vec<Envelope<P::Msg>>,
-) -> ShardRound<P::Msg> {
-    let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+    chunk: usize,
+    shards: usize,
+    slots: usize,
+    task: Task<P::Msg>,
+    scratch: &mut Scratch<P::Msg>,
+) -> RoundOut<P::Msg> {
+    let Task {
+        round,
+        mut due,
+        mixed,
+        skeleton,
+    } = task;
+    // SAFETY: exclusive access during the round per the module's safety
+    // model; the chunks are disjoint and derived from live allocations.
+    let proto: &P = unsafe { &*h.proto };
+    let nodes = unsafe { std::slice::from_raw_parts_mut(h.nodes, h.len) };
+    let rngs = unsafe { std::slice::from_raw_parts_mut(h.rngs, h.len) };
+    let seqs = unsafe { std::slice::from_raw_parts_mut(h.seqs, h.len) };
+    let live = if h.live.is_null() {
+        &mut [][..]
+    } else {
+        unsafe { std::slice::from_raw_parts_mut(h.live, h.len) }
+    };
+
+    let mut tally = NetStats::default();
     if !live.is_empty() {
-        cfg.churn.fill_live_mask(cfg.seed, round, base, live);
+        cfg.churn.fill_live_mask(cfg.seed, round, h.base, live);
     }
     let up = |off: usize| live.is_empty() || live[off];
 
+    let Scratch {
+        fresh,
+        sorted,
+        counts,
+        pool,
+    } = scratch;
+    fresh.clear();
+
+    // Phase 1: round-start hooks, id order.
     for (off, node) in nodes.iter_mut().enumerate() {
         if !up(off) {
             continue;
         }
-        let id = NodeId::from_index(base + off);
-        let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
+        let id = NodeId::from_index(h.base + off);
+        let mut out = Outbox::new(id, n, &mut seqs[off], fresh);
         proto.on_round_start(node, id, round, &mut rngs[off], &mut out);
     }
 
-    due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
-    let mut delivered = 0u64;
-    let mut churn_lost = 0u64;
-    for env in due {
-        let off = env.dst.index() - base;
+    // Phase 2: deliveries in (dst, src, seq) order. Single-send-round
+    // buckets get the linear counting pass; mixed buckets pay a sort.
+    let ordered = &mut *sorted;
+    if mixed {
+        ordered.clear();
+        for seg in due.iter_mut() {
+            ordered.append(seg);
+        }
+        ordered.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
+    } else {
+        counting_bucket(&mut due, h.len, counts, ordered, |e| e.dst.index() - h.base);
+    }
+    for seg in due {
+        recycle(pool, seg);
+    }
+    for env in ordered.drain(..) {
+        let off = env.dst.index() - h.base;
         if !up(off) {
-            churn_lost += 1;
+            tally.churn_lost += 1;
             continue;
         }
-        delivered += 1;
-        let mut out = Outbox::new(env.dst, n, &mut seqs[off], &mut fresh);
+        tally.delivered += 1;
+        let mut out = Outbox::new(env.dst, n, &mut seqs[off], fresh);
         proto.on_message(
             &mut nodes[off],
             env.dst,
@@ -116,16 +326,95 @@ fn run_shard_round<P: RoundProtocol>(
         );
     }
 
+    // Phase 3: round-end hooks, id order.
     for (off, node) in nodes.iter_mut().enumerate() {
         if !up(off) {
             continue;
         }
-        let id = NodeId::from_index(base + off);
-        let mut out = Outbox::new(id, n, &mut seqs[off], &mut fresh);
+        let id = NodeId::from_index(h.base + off);
+        let mut out = Outbox::new(id, n, &mut seqs[off], fresh);
         proto.on_round_end(node, id, round, &mut rngs[off], &mut out);
     }
 
-    (fresh, delivered, churn_lost)
+    // Routing: order this shard's emissions by (src, seq) — a stable
+    // counting pass by source offset; per-source emission is already
+    // seq-ascending — then decide each survivor's fate and bucket it by
+    // [latency_slot][destination_shard]. Downstream splices preserve
+    // this order, which is what makes delivery-side counting exact.
+    let by_src = &mut *sorted;
+    counting_bucket(std::slice::from_mut(fresh), h.len, counts, by_src, |e| {
+        e.src.index() - h.base
+    });
+    // Reuse last round's hollowed skeleton when its shape is right
+    // (always, except the first round); its spliced-out lanes were
+    // replaced by empty `Vec`s, which the pool re-backs on first push.
+    let mut routed: Routed<P::Msg> = skeleton;
+    if routed.len() != slots {
+        routed = (0..slots)
+            .map(|_| (0..shards).map(|_| Vec::new()).collect())
+            .collect();
+    }
+    for env in by_src.drain(..) {
+        tally.sent += 1;
+        tally.bytes_sent += proto.msg_bytes(&env.msg) as u64;
+        match cfg.conditions.fate(cfg.seed, &env) {
+            None => tally.dropped += 1,
+            Some(latency) => {
+                let bucket = &mut routed[(latency - 1) as usize][env.dst.index() / chunk];
+                if bucket.capacity() == 0 {
+                    if let Some(pooled) = pool.pop() {
+                        *bucket = pooled;
+                    }
+                }
+                bucket.push(env);
+            }
+        }
+    }
+
+    RoundOut { routed, tally }
+}
+
+/// A worker thread's lifetime: serve round tasks until the coordinator
+/// hangs up (run over), keeping all scratch and pooled buffers local.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<P: RoundProtocol>(
+    h: ShardHandle<P>,
+    cfg: &RunConfig,
+    n: usize,
+    chunk: usize,
+    shards: usize,
+    slots: usize,
+    tasks: Receiver<Task<P::Msg>>,
+    results: Sender<RoundOut<P::Msg>>,
+) {
+    let mut scratch = Scratch::new();
+    while let Ok(task) = tasks.recv() {
+        let out = run_shard_round(&h, cfg, n, chunk, shards, slots, task, &mut scratch);
+        if results.send(out).is_err() {
+            break;
+        }
+    }
+}
+
+/// One delivery round's worth of queued messages, per destination shard.
+struct Row<M> {
+    /// `lanes[dest_shard]` = spliced segments, in arrival (= emission)
+    /// order.
+    lanes: Vec<Vec<Vec<Envelope<M>>>>,
+    /// Send round that last filled this row (`u64::MAX` = never).
+    filled_round: u64,
+    /// Whether two different send rounds contributed (see [`Task::mixed`]).
+    mixed: bool,
+}
+
+impl<M> Row<M> {
+    fn empty(shards: usize) -> Self {
+        Self {
+            lanes: (0..shards).map(|_| Vec::new()).collect(),
+            filled_round: u64::MAX,
+            mixed: false,
+        }
+    }
 }
 
 impl Executor for ShardedExecutor {
@@ -142,91 +431,197 @@ impl Executor for ShardedExecutor {
         validate_run(n, cfg);
         let chunk = n.div_ceil(self.shards.max(1));
         let shards = n.div_ceil(chunk);
+        let slots = cfg.conditions.latency_slots();
 
         let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
         let mut seqs: Vec<u64> = vec![0; n];
         let mut nodes: Vec<P::Node> = (0..n)
             .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
             .collect();
-
-        // `buckets[k][s]` = messages due `k` rounds after the current pop,
-        // addressed to shard `s`.
-        let mut buckets: VecDeque<Vec<Vec<Envelope<P::Msg>>>> = VecDeque::new();
-        let mut stats = NetStats::default();
-        let mut digests = Vec::new();
-        // One flat liveness buffer, chunked alongside the other per-node
-        // vectors so churned rounds allocate nothing in the hot loop.
         let mut live = vec![true; if cfg.churn.is_none() { 0 } else { n }];
 
-        for round in 0..cfg.max_rounds {
-            let due_by_shard = buckets
-                .pop_front()
-                .unwrap_or_else(|| (0..shards).map(|_| Vec::new()).collect());
+        // Raw views handed to the workers; every access after this point
+        // (worker chunks AND the coordinator's digest/finalize views)
+        // derives from these pointers, under the module's safety model.
+        let nodes_ptr = nodes.as_mut_ptr();
+        let rngs_ptr = rngs.as_mut_ptr();
+        let seqs_ptr = seqs.as_mut_ptr();
+        let live_ptr = if live.is_empty() {
+            std::ptr::null_mut()
+        } else {
+            live.as_mut_ptr()
+        };
+        let proto_ptr: *mut P = proto;
 
-            // Fan the round out; shards own disjoint chunks of every
-            // per-node vector, handed to them via chunk iterators.
-            let proto_ref: &P = proto;
-            let mut shard_results: Vec<ShardRound<P::Msg>> = Vec::with_capacity(shards);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shards);
-                let node_chunks = nodes.chunks_mut(chunk);
-                let rng_chunks = rngs.chunks_mut(chunk);
-                let seq_chunks = seqs.chunks_mut(chunk);
-                // An empty mask yields no chunks; hand every shard an
-                // empty slice in that (churn-free) case.
-                let mut live_chunks = live.chunks_mut(chunk);
-                for (sidx, (((nc, rc), sc), due)) in node_chunks
-                    .zip(rng_chunks)
-                    .zip(seq_chunks)
-                    .zip(due_by_shard)
-                    .enumerate()
-                {
-                    let base = sidx * chunk;
-                    let lc = live_chunks.next().unwrap_or(&mut []);
-                    handles.push(scope.spawn(move || {
-                        run_shard_round(proto_ref, cfg, n, base, round, nc, rc, sc, lc, due)
-                    }));
-                }
-                for h in handles {
-                    shard_results.push(h.join().expect("shard thread panicked"));
-                }
-            });
-
-            // Deterministic merge: iterate shards in order (so the
-            // concatenation equals the sequential emission order) and
-            // route each surviving message to its destination shard.
-            for (mut fresh, delivered, churn_lost) in shard_results {
-                stats.delivered += delivered;
-                stats.churn_lost += churn_lost;
-                schedule_sends(
-                    proto,
-                    cfg,
-                    &mut fresh,
-                    &mut buckets,
-                    shards,
-                    |env| env.dst.index() / chunk,
-                    &mut stats,
-                );
-            }
-
-            digests.push(proto.digest(&nodes, round));
-            if let Verdict::Halt(output) = proto.finalize(&nodes, round) {
-                return RunReport {
-                    rounds: round + 1,
-                    completed: true,
-                    output: Some(output),
-                    digests,
-                    stats,
+        std::thread::scope(|scope| {
+            let mut task_txs: Vec<Sender<Task<P::Msg>>> = Vec::with_capacity(shards);
+            let mut result_rxs: Vec<Receiver<RoundOut<P::Msg>>> = Vec::with_capacity(shards);
+            for s in 0..shards {
+                let base = s * chunk;
+                let len = chunk.min(n - base);
+                // SAFETY: `base + len <= n`, ranges are disjoint across
+                // shards, and the vectors outlive this scope.
+                let handle = ShardHandle::<P> {
+                    base,
+                    len,
+                    nodes: unsafe { nodes_ptr.add(base) },
+                    rngs: unsafe { rngs_ptr.add(base) },
+                    seqs: unsafe { seqs_ptr.add(base) },
+                    live: if live_ptr.is_null() {
+                        live_ptr
+                    } else {
+                        unsafe { live_ptr.add(base) }
+                    },
+                    proto: proto_ptr,
                 };
+                let (task_tx, task_rx) = channel();
+                let (result_tx, result_rx) = channel();
+                task_txs.push(task_tx);
+                result_rxs.push(result_rx);
+                scope.spawn(move || {
+                    worker_loop(handle, cfg, n, chunk, shards, slots, task_rx, result_tx)
+                });
             }
-        }
 
-        RunReport {
-            rounds: cfg.max_rounds,
-            completed: false,
-            output: None,
-            digests,
-            stats,
+            let mut buckets: VecDeque<Row<P::Msg>> = VecDeque::new();
+            // Recycled shells: dispatched rows (only the outer
+            // length-`shards` lane Vec keeps its capacity — the per-dest
+            // segment lists move into tasks and are tiny) and each
+            // shard's hollowed routed skeleton, returned with the next
+            // task.
+            let mut row_pool: Vec<Row<P::Msg>> = Vec::new();
+            let mut skeletons: Vec<Routed<P::Msg>> =
+                (0..shards).map(|_| Routed::default()).collect();
+            let mut stats = NetStats::default();
+            let mut digests = Vec::new();
+
+            for round in 0..cfg.max_rounds {
+                // Fan out: hand each worker its due segments. Lane `Vec`s
+                // move wholesale — no envelope is touched here.
+                let mut row = buckets
+                    .pop_front()
+                    .or_else(|| row_pool.pop())
+                    .unwrap_or_else(|| Row::empty(shards));
+                for (s, tx) in task_txs.iter().enumerate() {
+                    tx.send(Task {
+                        round,
+                        due: std::mem::take(&mut row.lanes[s]),
+                        mixed: row.mixed,
+                        skeleton: std::mem::take(&mut skeletons[s]),
+                    })
+                    .expect("shard worker exited early");
+                }
+                row.filled_round = u64::MAX;
+                row.mixed = false;
+                row_pool.push(row);
+
+                // Collect in shard order and splice: shard s's bucket for
+                // (slot, dest) is appended after shards 0..s's, so each
+                // lane's concatenation equals the sequential emission
+                // order (module docs, invariant 3).
+                for (s, rx) in result_rxs.iter().enumerate() {
+                    let mut out = rx.recv().expect("shard worker panicked");
+                    stats.absorb(&out.tally);
+                    for (slot, lanes) in out.routed.iter_mut().enumerate() {
+                        while buckets.len() <= slot {
+                            buckets.push_back(row_pool.pop().unwrap_or_else(|| Row::empty(shards)));
+                        }
+                        let row = &mut buckets[slot];
+                        for (dest, seg) in lanes.iter_mut().enumerate() {
+                            if seg.is_empty() {
+                                continue;
+                            }
+                            if row.filled_round != u64::MAX && row.filled_round != round {
+                                row.mixed = true;
+                            }
+                            row.filled_round = round;
+                            row.lanes[dest].push(std::mem::take(seg));
+                        }
+                    }
+                    // The hollowed structure goes back to shard s as the
+                    // next round's skeleton.
+                    skeletons[s] = out.routed;
+                }
+
+                // SAFETY: every worker has delivered its result and is
+                // parked on `recv`; the channel handshakes order those
+                // accesses before these views (module safety model).
+                let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
+                let proto_mut: &mut P = unsafe { &mut *proto_ptr };
+                digests.push(proto_mut.digest(nodes_view, round));
+                if let Verdict::Halt(output) = proto_mut.finalize(nodes_view, round) {
+                    return RunReport {
+                        rounds: round + 1,
+                        completed: true,
+                        output: Some(output),
+                        digests,
+                        stats,
+                    };
+                }
+            }
+
+            RunReport {
+                rounds: cfg.max_rounds,
+                completed: false,
+                output: None,
+                digests,
+                stats,
+            }
+        })
+        // Scope exit drops the task senders; workers see the hangup,
+        // drain out, and are joined before the state vectors drop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Envelope;
+
+    fn env(src: u32, dst: u32, seq: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            seq,
+            msg: src * 1000 + seq as u32,
         }
+    }
+
+    #[test]
+    fn counting_bucket_is_stable_and_complete() {
+        // Two segments whose concatenation is (src, seq)-sorted; bucket
+        // by dst must yield exactly the (dst, src, seq) sort.
+        let mut segments = vec![
+            vec![env(0, 2, 0), env(0, 1, 1), env(1, 2, 0)],
+            vec![env(3, 0, 0), env(3, 2, 1), env(4, 1, 2)],
+        ];
+        let mut expect: Vec<_> = segments.concat();
+        expect.sort_by_key(|e| (e.dst, e.src, e.seq));
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        counting_bucket(&mut segments, 5, &mut counts, &mut out, |e| e.dst.index());
+        assert_eq!(out, expect);
+        assert!(segments.iter().all(Vec::is_empty), "segments are drained");
+    }
+
+    #[test]
+    fn counting_bucket_handles_empty_input() {
+        let mut segments: Vec<Vec<Envelope<u32>>> = vec![Vec::new(), Vec::new()];
+        let mut counts = Vec::new();
+        let mut out = vec![env(0, 0, 0)]; // stale scratch must be cleared
+        counting_bucket(&mut segments, 4, &mut counts, &mut out, |e| e.dst.index());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn recycle_pool_is_bounded() {
+        let mut pool: Vec<Vec<Envelope<u32>>> = Vec::new();
+        for _ in 0..(POOL_CAP + 10) {
+            recycle(&mut pool, Vec::with_capacity(4));
+        }
+        assert_eq!(pool.len(), POOL_CAP);
+        // Zero-capacity vectors are not worth pooling.
+        recycle(&mut pool, Vec::new());
+        assert_eq!(pool.len(), POOL_CAP);
     }
 }

@@ -15,7 +15,9 @@
 //!   continue / halt-with-result ([`Verdict`]);
 //! * it performs no I/O and owns no clock — an [`Executor`] drives it.
 //!   Three are provided: [`SequentialExecutor`] (reference semantics),
-//!   [`ShardedExecutor`] (scoped-thread parallelism over node shards) and
+//!   [`ShardedExecutor`] (a persistent worker thread per node shard,
+//!   shard-local message fate + routing, a coordinator that only splices
+//!   buckets — see its module docs for the zero-coordinator hot path) and
 //!   [`ConditionedExecutor`] (message loss and latency distributions
 //!   layered over any inner executor);
 //! * [`adapters`] host all eight workloads — the distributed dating
@@ -34,10 +36,11 @@
 //!    `small_rng_for(seed, i)` only, and only while node `i` is being
 //!    stepped. No callback can observe another node's stream.
 //! 2. **Canonical delivery order.** Messages due in a round are delivered
-//!    sorted by `(dst, src, seq)`, where `seq` is the sender's private
+//!    in `(dst, src, seq)` order, where `seq` is the sender's private
 //!    send counter — a pure function of protocol behaviour. Shards hold
-//!    contiguous id ranges, so per-shard sorted order concatenates to
-//!    exactly the sequential order.
+//!    contiguous id ranges and keep their buckets `(src, seq)`-sorted
+//!    with stable counting passes, so per-shard order concatenates to
+//!    exactly the sequential order without a comparison sort.
 //! 3. **Scheduling-free message fate.** Loss and latency under
 //!    [`Conditions`] are decided by hashing `(seed, src, seq)`, never by
 //!    consuming a shared RNG, so conditioning commutes with execution

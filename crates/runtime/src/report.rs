@@ -76,6 +76,21 @@ pub struct NetStats {
     pub churn_lost: u64,
 }
 
+impl NetStats {
+    /// Fold another tally into this one — the coordinator's per-round
+    /// merge of shard-local accounting. Every field is a plain sum, so
+    /// absorbing shard tallies in shard order equals counting the same
+    /// events on one thread, which is what keeps sharded statistics
+    /// bit-identical to [`SequentialExecutor`](crate::SequentialExecutor)'s.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.bytes_sent += other.bytes_sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.churn_lost += other.churn_lost;
+    }
+}
+
 /// Everything one run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport<R> {
@@ -125,6 +140,35 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.max_rounds, 50);
         assert!(cfg.conditions.is_ideal());
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut a = NetStats {
+            sent: 1,
+            bytes_sent: 2,
+            delivered: 3,
+            dropped: 4,
+            churn_lost: 5,
+        };
+        let b = NetStats {
+            sent: 10,
+            bytes_sent: 20,
+            delivered: 30,
+            dropped: 40,
+            churn_lost: 50,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            NetStats {
+                sent: 11,
+                bytes_sent: 22,
+                delivered: 33,
+                dropped: 44,
+                churn_lost: 55,
+            }
+        );
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //! 2. **Statistical fidelity**: the runtime-hosted dating service draws
 //!    its date counts from the same distribution as the oracle sampler,
 //!    checked with the same KS harness as `oracle_vs_distributed`.
+//! 3. **Property sweep**: random `(workload, shards, loss, latency,
+//!    churn)` combinations — not just the pairwise fixtures — must keep
+//!    sequential and sharded reports bit-identical.
 
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rendezvous::prelude::*;
@@ -142,6 +146,55 @@ fn runtime_dating_matches_oracle_distribution_heterogeneous() {
         r.statistic,
         r.p_value
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The determinism contract, fuzzed: any workload under any
+    /// combination of loss, latency spread and churn must produce the
+    /// same report on the sequential executor and on a sharded executor
+    /// with an arbitrary shard count — including shard counts larger
+    /// than the latency window and spreads that leave messages in
+    /// flight at halt. Until this sweep, loss + latency + churn were
+    /// only pinned pairwise.
+    #[test]
+    fn random_conditions_keep_executors_bit_identical(
+        seed in 0u64..1_000_000,
+        (n, shards) in (40usize..200, 2usize..17),
+        proto_idx in 0usize..8,
+        (drop_milli, lat_kind, lat_min, lat_span) in (0u32..350, 0u8..3, 1u64..4, 0u64..5),
+        (churn_kind, churn_milli) in (0u8..3, 10u32..300),
+    ) {
+        let latency = match lat_kind {
+            0 => LatencyDist::Fixed(lat_min),
+            1 => LatencyDist::Uniform { min: lat_min, max: lat_min + lat_span },
+            _ => LatencyDist::Geometric { p: 0.2 + 0.15 * lat_span as f64, cap: 9 },
+        };
+        let churn = match churn_kind {
+            0 => Churn::none(),
+            1 => Churn::intermittent(churn_milli as f64 / 1000.0),
+            _ => Churn::crash_stop(churn_milli as f64 / 1000.0, 15),
+        };
+        let conditions = Conditions { drop_prob: drop_milli as f64 / 1000.0, latency };
+        let base = Scenario::new(n)
+            .protocol(Spreader::ALL[proto_idx])
+            .cycles(12)
+            .conditions(conditions)
+            .churn(churn)
+            .max_rounds(240);
+        let seq = base.clone().run(seed).expect("scenario must validate");
+        let sh = base
+            .clone()
+            .sharded(shards)
+            .run(seed)
+            .expect("scenario must validate");
+        prop_assert_eq!(seq.rounds, sh.rounds);
+        prop_assert_eq!(seq.completed, sh.completed);
+        prop_assert_eq!(&seq.digests, &sh.digests);
+        prop_assert_eq!(seq.stats, sh.stats);
+        prop_assert_eq!(seq.output, sh.output);
+    }
 }
 
 #[test]
