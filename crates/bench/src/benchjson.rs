@@ -1,15 +1,25 @@
 //! Machine-readable benchmark records (`BENCH_runtime.json`).
 //!
 //! The perf trajectory of the runtime hot path is tracked as a small,
-//! dependency-free JSON file emitted by `exp_runtime_scaling
-//! --bench-out PATH`: one record per `{workload, n, shards}` cell with
-//! wall-clock, ns/round and msgs/sec. CI checks that emission works
-//! headless; humans (and future sessions) diff the numbers recorded in
-//! `EXPERIMENTS.md`.
+//! dependency-free JSON file with two series:
+//!
+//! * `records` — one [`BenchRecord`] per `{workload, n, shards}` cell
+//!   (wall-clock, ns/round, msgs/sec), emitted by
+//!   `exp_runtime_scaling --bench-out PATH`;
+//! * `sweep_throughput` — one [`SweepThroughputRecord`] per
+//!   `{engine, pool}` sweep run (scenarios/sec over a whole
+//!   Monte-Carlo grid), emitted by `exp_sweep --bench-out PATH`.
+//!
+//! Each emitter rewrites only its own series: [`load_bench_json`]
+//! reads the other series back (via `rendez_fleet`'s JSON reader) so
+//! the two binaries can share one file without clobbering each other.
+//! CI checks that emission works headless; humans (and future
+//! sessions) diff the numbers recorded in `EXPERIMENTS.md`.
 //!
 //! The writer is hand-rolled — the build environment is fully vendored,
 //! so no serde — and emits a stable field order to keep diffs readable.
 
+use rendez_fleet::json::{self, Json};
 use std::io::Write;
 use std::path::Path;
 
@@ -68,6 +78,50 @@ impl BenchRecord {
     }
 }
 
+/// One benchmarked sweep run: a whole Monte-Carlo grid timed end to
+/// end on one engine, the `sweep_throughput` series of
+/// `BENCH_runtime.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepThroughputRecord {
+    /// `"serial"` or `"fleet"`.
+    pub engine: String,
+    /// Worker-pool size (0 for the serial engine).
+    pub pool: usize,
+    /// Grid cells in the sweep.
+    pub cells: usize,
+    /// Trials per cell.
+    pub trials_per_cell: u64,
+    /// Total scenario runs (`cells × trials_per_cell`).
+    pub trials: u64,
+    /// Wall-clock for the whole sweep, seconds.
+    pub wall_s: f64,
+}
+
+impl SweepThroughputRecord {
+    /// Scenario runs per wall-clock second — the sweep-scheduler
+    /// headline number.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.trials as f64 / self.wall_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":{},\"pool\":{},\"cells\":{},\"trials_per_cell\":{},\
+             \"trials\":{},\"wall_s\":{:.6},\"scenarios_per_sec\":{:.1}}}",
+            json_string(&self.engine),
+            self.pool,
+            self.cells,
+            self.trials_per_cell,
+            self.trials,
+            self.wall_s,
+            self.scenarios_per_sec()
+        )
+    }
+}
+
 /// Escape a string for JSON embedding.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -87,8 +141,13 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Render the full benchmark document.
-pub fn render_bench_json(cores: usize, seed: u64, records: &[BenchRecord]) -> String {
+/// Render the full benchmark document (both series).
+pub fn render_bench_json(
+    cores: usize,
+    seed: u64,
+    records: &[BenchRecord],
+    sweeps: &[SweepThroughputRecord],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"rendez-bench/runtime-v1\",\n");
@@ -103,6 +162,16 @@ pub fn render_bench_json(cores: usize, seed: u64, records: &[BenchRecord]) -> St
         }
         out.push('\n');
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"sweep_throughput\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        if i + 1 < sweeps.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -113,9 +182,65 @@ pub fn write_bench_json(
     cores: usize,
     seed: u64,
     records: &[BenchRecord],
+    sweeps: &[SweepThroughputRecord],
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(render_bench_json(cores, seed, records).as_bytes())
+    f.write_all(render_bench_json(cores, seed, records, sweeps).as_bytes())
+}
+
+/// Read both series back from an existing benchmark file, so an
+/// emitter can rewrite its own series while preserving the other's.
+/// Returns empty series when the file is missing or unparseable
+/// (emitters then start a fresh document).
+pub fn load_bench_json(path: &Path) -> (Vec<BenchRecord>, Vec<SweepThroughputRecord>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (Vec::new(), Vec::new());
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return (Vec::new(), Vec::new());
+    };
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(bench_record_from)
+        .collect();
+    let sweeps = doc
+        .get("sweep_throughput")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(sweep_record_from)
+        .collect();
+    (records, sweeps)
+}
+
+fn field_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn bench_record_from(v: &Json) -> Option<BenchRecord> {
+    Some(BenchRecord {
+        workload: v.get("workload")?.as_str()?.to_string(),
+        n: field_f64(v, "n")? as usize,
+        shards: field_f64(v, "shards")? as usize,
+        rounds: field_f64(v, "rounds")? as u64,
+        wall_s: field_f64(v, "wall_s")?,
+        msgs_sent: field_f64(v, "msgs_sent")? as u64,
+        msgs_delivered: field_f64(v, "msgs_delivered")? as u64,
+    })
+}
+
+fn sweep_record_from(v: &Json) -> Option<SweepThroughputRecord> {
+    Some(SweepThroughputRecord {
+        engine: v.get("engine")?.as_str()?.to_string(),
+        pool: field_f64(v, "pool")? as usize,
+        cells: field_f64(v, "cells")? as usize,
+        trials_per_cell: field_f64(v, "trials_per_cell")? as u64,
+        trials: field_f64(v, "trials")? as u64,
+        wall_s: field_f64(v, "wall_s")?,
+    })
 }
 
 #[cfg(test)]
@@ -148,20 +273,39 @@ mod tests {
         assert_eq!(degenerate.msgs_per_sec(), 0.0);
     }
 
+    fn sweep_record() -> SweepThroughputRecord {
+        SweepThroughputRecord {
+            engine: "fleet".to_string(),
+            pool: 4,
+            cells: 64,
+            trials_per_cell: 32,
+            trials: 2048,
+            wall_s: 2.0,
+        }
+    }
+
     #[test]
     fn renders_valid_shape() {
-        let doc = render_bench_json(4, 0x5CA1E, &[record()]);
+        let doc = render_bench_json(4, 0x5CA1E, &[record()], &[sweep_record()]);
         assert!(doc.contains("\"schema\": \"rendez-bench/runtime-v1\""));
         assert!(doc.contains("\"seed\": \"0x5ca1e\""));
         assert!(doc.contains("\"workload\":\"dating\""));
         assert!(doc.contains("\"msgs_per_sec\":4000000.0"));
-        // Balanced braces/brackets — a cheap structural sanity check.
-        assert_eq!(
-            doc.matches('{').count(),
-            doc.matches('}').count(),
-            "braces balance"
-        );
-        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"sweep_throughput\""));
+        assert!(doc.contains("\"scenarios_per_sec\":1024.0"));
+        // The document parses with the same reader the emitters use to
+        // merge, so writer and reader cannot drift apart.
+        assert!(json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn sweep_throughput_rate() {
+        assert!((sweep_record().scenarios_per_sec() - 1024.0).abs() < 1e-9);
+        let degenerate = SweepThroughputRecord {
+            wall_s: 0.0,
+            ..sweep_record()
+        };
+        assert_eq!(degenerate.scenarios_per_sec(), 0.0);
     }
 
     #[test]
@@ -170,11 +314,32 @@ mod tests {
     }
 
     #[test]
-    fn writes_to_disk() {
+    fn round_trips_through_load() {
         let path = std::env::temp_dir().join("rendez_benchjson_test.json");
-        write_bench_json(&path, 1, 7, &[record()]).expect("write");
-        let back = std::fs::read_to_string(&path).expect("read");
-        assert!(back.contains("\"records\""));
+        write_bench_json(&path, 1, 7, &[record()], &[sweep_record()]).expect("write");
+        let (records, sweeps) = load_bench_json(&path);
+        assert_eq!(records, vec![record()]);
+        assert_eq!(sweeps, vec![sweep_record()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_tolerates_missing_and_legacy_files() {
+        let missing = std::path::Path::new("/nonexistent/rendez_bench.json");
+        assert_eq!(load_bench_json(missing), (Vec::new(), Vec::new()));
+        // A pre-sweep document (no sweep_throughput key) still yields
+        // its records.
+        let path = std::env::temp_dir().join("rendez_benchjson_legacy.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"rendez-bench/runtime-v1\", \"records\": [".to_string()
+                + &record().to_json()
+                + "]}",
+        )
+        .expect("write");
+        let (records, sweeps) = load_bench_json(&path);
+        assert_eq!(records.len(), 1);
+        assert!(sweeps.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 }

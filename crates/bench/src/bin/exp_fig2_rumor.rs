@@ -10,17 +10,26 @@
 //! message-passing runtime via the `Scenario` builder, and `--churn P`
 //! additionally runs every protocol with each node down a fraction `P`
 //! of rounds (source protected) — a variant only the runtime supports.
+//! The runtime/churn table is scheduled onto one persistent
+//! Monte-Carlo fleet (`rendez_fleet`): each row is a single-`n`
+//! `SweepSpec` over all six algorithms, so thread spawn cost is paid
+//! once for the whole table and per-trial results stream through
+//! Welford accumulators instead of being materialized.
 //!
 //! Usage: `exp_fig2_rumor [--quick|--full] [--runtime] [--churn P]
 //!         [--seed S] [--threads T] [--trials T] [--csv]`
+//!
+//! `--threads T` sizes the fleet's worker pool for the runtime engine
+//! (0 = one per core) and the trial parallelism for the legacy engine.
 //!
 //! `--trials T` overrides the scaled per-point trial count — the paper-
 //! scale churn sweep (`--runtime --n 100000 --churn P --trials 5`) runs
 //! million-node-message workloads where a handful of trials already
 //! separates the churn levels cleanly.
 
-use rendez_bench::experiments::fig2::{rumor_point, rumor_point_runtime, Algo};
+use rendez_bench::experiments::fig2::{rumor_point, rumor_row_fleet, Algo};
 use rendez_bench::{table, CliArgs, Table};
+use rendez_fleet::Fleet;
 
 fn main() {
     let args = CliArgs::parse();
@@ -40,7 +49,7 @@ fn main() {
         "# seed={seed} scale={} engine={}{}",
         args.scale(),
         if runtime {
-            "runtime (Scenario builder)"
+            "runtime (Scenario grid on the Monte-Carlo fleet)"
         } else {
             "legacy (centralized samplers)"
         },
@@ -54,26 +63,37 @@ fn main() {
     headers.extend(Algo::ALL.iter().map(|a| a.name().to_string()));
     let mut t = Table::new(headers, args.has("csv"));
 
+    // One pool for the whole table: every runtime row reuses the same
+    // parked worker threads via the fleet engine.
+    let fleet = if runtime {
+        Some(Fleet::new(threads))
+    } else {
+        None
+    };
     for &n in &ns {
         let paper_trials: u64 = if n >= 10_000 { 1_000 } else { 10_000 };
         let trials = args.get_u64("trials", args.scaled_trials(paper_trials, 30));
         let mut row = vec![n.to_string(), trials.to_string()];
-        for &a in &Algo::ALL {
-            let s = if runtime {
-                rumor_point_runtime(a, n, trials, seed ^ n as u64, threads, churn)
-            } else {
-                rumor_point(a, n, trials, seed ^ n as u64, threads)
-            };
-            row.push(table::pm(s.mean, s.std_dev, 1));
+        if let Some(fleet) = &fleet {
+            for (_, s) in rumor_row_fleet(fleet, n, trials, seed ^ n as u64, churn) {
+                row.push(table::pm(s.mean, s.std_dev, 1));
+            }
+        } else {
+            for &a in &Algo::ALL {
+                let s = rumor_point(a, n, trials, seed ^ n as u64, threads);
+                row.push(table::pm(s.mean, s.std_dev, 1));
+            }
         }
         t.row(row);
     }
     t.print();
     println!("# paper ordering: push-pull < push-fair-pull < pull < fair-pull < push < dating");
     println!("# paper claim: dating < 2x the bandwidth-honest baselines (push, fair-pull)");
-    if runtime {
+    if let Some(fleet) = &fleet {
         println!(
-            "# builder one-liner per cell: Scenario::new(n).protocol(algo.spreader()).run(seed)"
+            "# fleet: one SweepSpec row per n, {} persistent workers, \
+             streaming Welford aggregation",
+            fleet.size()
         );
     }
 }

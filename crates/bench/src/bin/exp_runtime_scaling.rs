@@ -24,7 +24,7 @@
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
 
-use rendez_bench::{write_bench_json, BenchRecord, CliArgs, Table};
+use rendez_bench::{load_bench_json, write_bench_json, BenchRecord, CliArgs, Table};
 use rendez_runtime::{Churn, Scenario, ScenarioReport, Spreader};
 use std::time::Instant;
 
@@ -184,7 +184,10 @@ fn main() {
 
     if !bench_out.is_empty() {
         let path = std::path::Path::new(&bench_out);
-        write_bench_json(path, cores, seed, &records)
+        // Preserve the sweep_throughput series exp_sweep owns; rewrite
+        // only the scaling records.
+        let (_, sweeps) = load_bench_json(path);
+        write_bench_json(path, cores, seed, &records, &sweeps)
             .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
         println!("# wrote {} benchmark records to {bench_out}", records.len());
     }

@@ -92,6 +92,29 @@ impl CliArgs {
         }
     }
 
+    /// `--name 0.0,0.1,0.25` as an f64 list.
+    pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        match self.values.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} wants numbers, got {s}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// `--name a,b,c` as a string list.
+    pub fn get_str_list(&self, name: &str, default: &[&str]) -> Vec<String> {
+        match self.values.get(name) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
+        }
+    }
+
     /// Shared scale convention: multiply paper-scale trial counts by this.
     /// `--quick` → 1/50 scale (CI), `--full` → 1, default → 1/10.
     pub fn scale(&self) -> f64 {
@@ -134,6 +157,15 @@ mod tests {
         assert_eq!(a.get_f64("alpha", 0.5), 0.5);
         assert_eq!(a.get_usize_list("n", &[3, 4]), vec![3, 4]);
         assert_eq!(a.get_str("bench-out", "BENCH.json"), "BENCH.json");
+    }
+
+    #[test]
+    fn lists_parse() {
+        let a = args(&["--churn", "0.0, 0.1,0.25", "--protocols", "push, dating"]);
+        assert_eq!(a.get_f64_list("churn", &[0.5]), vec![0.0, 0.1, 0.25]);
+        assert_eq!(a.get_f64_list("loss", &[0.5]), vec![0.5]);
+        assert_eq!(a.get_str_list("protocols", &["x"]), vec!["push", "dating"]);
+        assert_eq!(a.get_str_list("other", &["x", "y"]), vec!["x", "y"]);
     }
 
     #[test]

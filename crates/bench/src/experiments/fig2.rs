@@ -9,6 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rendez_core::{Platform, UniformSelector};
+use rendez_fleet::{Fleet, SweepSpec};
 use rendez_gossip::{run_spread, DatingSpread, FairPull, FairPushPull, Pull, Push, PushPull};
 use rendez_runtime::{Churn, Scenario, Spreader};
 use rendez_sim::{run_trials, NodeId};
@@ -147,6 +148,55 @@ pub fn rumor_point_runtime(
     RunningStats::from_iter(rounds).summary()
 }
 
+/// One Figure-2 table row produced by the Monte-Carlo fleet: all six
+/// algorithms at one `n`, as a single-`n` [`SweepSpec`] scheduled onto
+/// `fleet`'s persistent pool. Returns `(algo, summary)` in
+/// [`Algo::ALL`] order, where the summary is over legacy-equivalent
+/// rounds — the same figure [`rumor_point_runtime`] computes, but with
+/// trials streamed through Welford accumulators instead of
+/// materialized, and with thread spawn cost paid once per table
+/// instead of once per cell.
+pub fn rumor_row_fleet(
+    fleet: &Fleet,
+    n: usize,
+    trials: u64,
+    seed: u64,
+    churn_down: f64,
+) -> Vec<(Algo, Summary)> {
+    let spec = SweepSpec::new()
+        .ns(vec![n])
+        .protocols(Algo::ALL.iter().map(|a| a.spreader()).collect())
+        .churns(vec![churn_down])
+        .trials(trials)
+        .seed(seed);
+    let report = fleet.run(&spec).expect("fig2 sweep must validate");
+    Algo::ALL
+        .iter()
+        .zip(&report.cells)
+        .map(|(&algo, cell)| {
+            assert_eq!(cell.cell.protocol, algo.spreader(), "cell order");
+            assert_eq!(
+                cell.completed,
+                trials,
+                "{} (fleet) did not complete at n={n}",
+                algo.name()
+            );
+            let m = cell.value;
+            (
+                algo,
+                Summary {
+                    n: m.n,
+                    mean: m.mean,
+                    std_dev: m.sd,
+                    sem: m.sem,
+                    min: m.min,
+                    max: m.max,
+                },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +248,28 @@ mod tests {
                 "{}: runtime mean {runtime} vs legacy mean {legacy}",
                 algo.name()
             );
+        }
+    }
+
+    #[test]
+    fn fleet_row_agrees_with_per_cell_runtime_means() {
+        let n = 300;
+        let trials = 40;
+        let fleet = Fleet::new(2);
+        let row = rumor_row_fleet(&fleet, n, trials, 5, 0.0);
+        assert_eq!(row.len(), Algo::ALL.len());
+        for (algo, fleet_summary) in row {
+            if !matches!(algo, Algo::PushPull | Algo::Push | Algo::FairPull) {
+                continue; // spot-check the same trio as the legacy test
+            }
+            let reference = rumor_point_runtime(algo, n, trials, 6, 0, 0.0).mean;
+            assert!(
+                (fleet_summary.mean - reference).abs() < 0.2 * reference + 1.5,
+                "{}: fleet mean {} vs runtime mean {reference}",
+                algo.name(),
+                fleet_summary.mean
+            );
+            assert_eq!(fleet_summary.n, trials);
         }
     }
 

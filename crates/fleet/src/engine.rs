@@ -1,0 +1,324 @@
+//! The fleet engine: one persistent worker pool, a work-stealing job
+//! list, and a reorder-buffer aggregator.
+//!
+//! A sweep decomposes into jobs — `(cell, block)` pairs, each covering
+//! [`TRIALS_PER_JOB`] trials — enumerated in one canonical order. The
+//! pool's workers claim jobs from an atomic counter (the same
+//! work-stealing idiom as `rendez_sim::run_trials`), fold each block
+//! into a [`CellAgg`] locally, and stream the block aggregates to the
+//! caller's thread, which merges them into the per-cell accumulators
+//! **in job order** via a reorder buffer. Scheduling therefore decides
+//! only *when* a block is merged, never *in which order* — the source
+//! of the engine's bit-identical-at-any-pool-size guarantee, which
+//! [`run_serial`] shares by walking the identical job list inline.
+//!
+//! A panicking trial cancels the sweep: the panic is caught on the
+//! worker, the first payload is recorded, and every worker stops
+//! claiming jobs. The pool survives and the sweep returns
+//! [`SweepError::TrialPanicked`].
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use rendez_runtime::WorkerPool;
+
+use crate::agg::{blocks_per_cell, CellAgg, TrialPoint, TRIALS_PER_JOB};
+use crate::report::SweepReport;
+use crate::spec::{Cell, SweepError, SweepSpec};
+
+/// A persistent Monte-Carlo worker fleet.
+///
+/// Create one [`Fleet`] and run as many sweeps as you like against it;
+/// the pool's threads are spawned once and parked between sweeps. See
+/// the [crate docs](crate) for a runnable example.
+#[derive(Debug)]
+pub struct Fleet {
+    pool: WorkerPool,
+}
+
+impl Fleet {
+    /// A fleet with `threads` persistent workers (0 = one per core).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// The underlying pool, e.g. to share it with
+    /// [`Scenario::run_pooled`](rendez_runtime::Scenario::run_pooled)
+    /// between sweeps.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Run a whole sweep on the fleet.
+    ///
+    /// The report is a pure function of `spec` — bit-identical for any
+    /// pool size and identical to [`run_serial`]'s. Returns
+    /// [`SweepError::TrialPanicked`] (with the sweep cancelled at the
+    /// first panic) if any trial panics; the fleet remains usable.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, SweepError> {
+        spec.validate()?;
+        let cells = spec.cells();
+        let aggs = self.drive(spec, &cells, &|cell, block| run_block(spec, cell, block))?;
+        Ok(SweepReport::assemble(spec, cells, aggs))
+    }
+
+    /// The scheduler core, generic over the block runner so tests can
+    /// inject panicking workloads.
+    fn drive<F>(
+        &self,
+        spec: &SweepSpec,
+        cells: &[Cell],
+        runner: &F,
+    ) -> Result<Vec<CellAgg>, SweepError>
+    where
+        F: Fn(&Cell, usize) -> CellAgg + Sync,
+    {
+        let bpc = blocks_per_cell(spec.trials);
+        let total_jobs = cells.len() * bpc;
+        let threads = self.pool.size();
+
+        let next_job = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let mut aggs = vec![CellAgg::new(); cells.len()];
+        let (tx, rx) = mpsc::channel::<WorkerMsg>();
+
+        self.pool.scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (next_job, cancel, failure) = (&next_job, &cancel, &failure);
+                s.spawn(move || {
+                    loop {
+                        if cancel.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let j = next_job.fetch_add(1, Ordering::Relaxed);
+                        if j >= total_jobs {
+                            break;
+                        }
+                        let cell = &cells[j / bpc];
+                        match catch_unwind(AssertUnwindSafe(|| runner(cell, j % bpc))) {
+                            Ok(block) => {
+                                // The receiver outlives the scope; send
+                                // cannot fail while workers run.
+                                let _ = tx.send(WorkerMsg::Block(j, block));
+                            }
+                            Err(payload) => {
+                                let mut slot = failure.lock().expect("failure lock poisoned");
+                                if slot.is_none() {
+                                    *slot = Some((cell.index, panic_message(&*payload)));
+                                }
+                                drop(slot);
+                                cancel.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                    let _ = tx.send(WorkerMsg::Done);
+                });
+            }
+            drop(tx);
+
+            // Aggregate on the calling thread while workers produce:
+            // a reorder buffer delivers block aggregates in job order,
+            // so the merge sequence is independent of scheduling.
+            let mut done = 0;
+            let mut next = 0usize;
+            let mut pending: BTreeMap<usize, CellAgg> = BTreeMap::new();
+            while done < threads {
+                match rx.recv().expect("a worker sender is always alive here") {
+                    WorkerMsg::Block(j, block) => {
+                        pending.insert(j, block);
+                        while let Some(block) = pending.remove(&next) {
+                            aggs[next / bpc].merge(&block);
+                            next += 1;
+                        }
+                    }
+                    WorkerMsg::Done => done += 1,
+                }
+            }
+        });
+
+        match failure.into_inner().expect("failure lock poisoned") {
+            Some((cell, message)) => Err(SweepError::TrialPanicked { cell, message }),
+            None => Ok(aggs),
+        }
+    }
+}
+
+/// What a worker streams back to the aggregator.
+enum WorkerMsg {
+    /// Job `j` finished with this block aggregate.
+    Block(usize, CellAgg),
+    /// This worker claimed its last job and is exiting its loop.
+    Done,
+}
+
+/// Run the same sweep without the pool: the caller's thread walks the
+/// identical job list in order, through the identical block runner and
+/// merge — the honest baseline for speedup claims, byte-identical to
+/// [`Fleet::run`]'s report.
+pub fn run_serial(spec: &SweepSpec) -> Result<SweepReport, SweepError> {
+    spec.validate()?;
+    let cells = spec.cells();
+    let aggs = serial_drive(spec, &cells, &|cell, block| run_block(spec, cell, block))?;
+    Ok(SweepReport::assemble(spec, cells, aggs))
+}
+
+/// Serial counterpart of [`Fleet::drive`], sharing its job order,
+/// block runner and cancellation semantics.
+fn serial_drive<F>(spec: &SweepSpec, cells: &[Cell], runner: &F) -> Result<Vec<CellAgg>, SweepError>
+where
+    F: Fn(&Cell, usize) -> CellAgg,
+{
+    let bpc = blocks_per_cell(spec.trials);
+    let mut aggs = vec![CellAgg::new(); cells.len()];
+    for j in 0..cells.len() * bpc {
+        let cell = &cells[j / bpc];
+        match catch_unwind(AssertUnwindSafe(|| runner(cell, j % bpc))) {
+            Ok(block) => aggs[j / bpc].merge(&block),
+            Err(payload) => {
+                return Err(SweepError::TrialPanicked {
+                    cell: cell.index,
+                    message: panic_message(&*payload),
+                })
+            }
+        }
+    }
+    Ok(aggs)
+}
+
+/// Fold one block of trials: build the cell's scenario once, run
+/// [`TRIALS_PER_JOB`] seeds against it (the last block may be short),
+/// push each report into a fresh [`CellAgg`] in trial order.
+fn run_block(spec: &SweepSpec, cell: &Cell, block: usize) -> CellAgg {
+    let scenario = spec.scenario_for(cell);
+    let lo = block as u64 * TRIALS_PER_JOB;
+    let hi = (lo + TRIALS_PER_JOB).min(spec.trials);
+    let mut agg = CellAgg::new();
+    for trial in lo..hi {
+        let report = scenario
+            .run(spec.trial_seed(cell.index, trial))
+            .expect("spec.validate() checked every cell");
+        agg.push(&TrialPoint::from_report(&report));
+    }
+    agg
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendez_runtime::Spreader;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new()
+            .ns(vec![16, 32])
+            .protocols(vec![Spreader::Push, Spreader::PushPull])
+            .trials(20)
+            .seed(11)
+    }
+
+    #[test]
+    fn fleet_matches_serial_byte_for_byte() {
+        let spec = spec();
+        let serial = run_serial(&spec).expect("serial");
+        for threads in [1, 3] {
+            let fleet = Fleet::new(threads).run(&spec).expect("fleet");
+            assert_eq!(serial.to_json(), fleet.to_json(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn a_fleet_runs_many_sweeps_on_the_same_threads() {
+        let fleet = Fleet::new(2);
+        assert_eq!(fleet.size(), 2);
+        let a = fleet.run(&spec()).expect("first sweep");
+        let b = fleet.run(&spec()).expect("second sweep");
+        assert_eq!(a.to_json(), b.to_json());
+        let c = fleet.run(&spec().seed(12)).expect("third sweep");
+        assert_ne!(a.to_json(), c.to_json(), "seed must matter");
+    }
+
+    #[test]
+    fn trial_panic_cancels_the_sweep_and_spares_the_fleet() {
+        let spec = spec();
+        let cells = spec.cells();
+        let fleet = Fleet::new(2);
+        let claimed = AtomicUsize::new(0);
+        let err = fleet
+            .drive(&spec, &cells, &|cell, block| {
+                claimed.fetch_add(1, Ordering::Relaxed);
+                if cell.index == 1 {
+                    panic!("injected trial failure");
+                }
+                run_block(&spec, cell, block)
+            })
+            .expect_err("must cancel");
+        assert_eq!(
+            err,
+            SweepError::TrialPanicked {
+                cell: 1,
+                message: "injected trial failure".to_string()
+            }
+        );
+        // Cancellation: nowhere near all jobs were claimed... at least
+        // not guaranteed on tiny grids; what IS guaranteed is that the
+        // fleet is still fully usable afterwards.
+        let report = fleet.run(&spec).expect("fleet survives a panic");
+        assert_eq!(report.cells.len(), cells.len());
+        assert!(claimed.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn serial_engine_reports_panics_too() {
+        let spec = spec();
+        let cells = spec.cells();
+        let err = serial_drive(&spec, &cells, &|cell, _| {
+            if cell.index == 2 {
+                panic!("boom");
+            }
+            CellAgg::new()
+        })
+        .expect_err("must fail");
+        assert_eq!(
+            err,
+            SweepError::TrialPanicked {
+                cell: 2,
+                message: "boom".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors_not_panics() {
+        let fleet = Fleet::new(1);
+        assert!(matches!(
+            fleet.run(&SweepSpec::new()).unwrap_err(),
+            SweepError::EmptyAxis { axis: "ns" }
+        ));
+        assert!(matches!(
+            run_serial(&spec().churns(vec![2.0])).unwrap_err(),
+            SweepError::InvalidProbability { .. }
+        ));
+    }
+}

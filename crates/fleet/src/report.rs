@@ -1,0 +1,230 @@
+//! The machine-readable sweep report and its canonical JSON form.
+//!
+//! A [`SweepReport`] contains **only deterministic content** — grid
+//! coordinates, trial counts and streamed statistics; no wall-clock
+//! times, pool sizes or hostnames — so byte-equality of
+//! [`to_json`](SweepReport::to_json) output is a meaningful check that
+//! two engines (or two pool sizes) computed the same sweep. Floats are
+//! rendered with Rust's shortest-roundtrip formatting and non-finite
+//! values as `null`, keeping the bytes a pure function of the values.
+
+use rendez_stats::RunningStats;
+
+use crate::agg::{CellAgg, TRIALS_PER_JOB};
+use crate::spec::{Cell, SweepSpec};
+
+/// Streamed summary of one metric over a cell's completed trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Observations folded in.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub sd: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Smallest observation (`+inf` when `n == 0`).
+    pub min: f64,
+    /// Largest observation (`-inf` when `n == 0`).
+    pub max: f64,
+    /// Lower bound of the normal-approximation 95% CI for the mean.
+    pub ci95_lo: f64,
+    /// Upper bound of the normal-approximation 95% CI for the mean.
+    pub ci95_hi: f64,
+}
+
+impl MetricSummary {
+    fn from_stats(stats: &RunningStats) -> Self {
+        let s = stats.summary();
+        let (ci95_lo, ci95_hi) = s.ci95();
+        Self {
+            n: s.n,
+            mean: s.mean,
+            sd: s.std_dev,
+            sem: s.sem,
+            min: s.min,
+            max: s.max,
+            ci95_lo,
+            ci95_hi,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"n\": {}, \"mean\": {}, \"sd\": {}, \"sem\": {}, \"min\": {}, \"max\": {}, \"ci95_lo\": {}, \"ci95_hi\": {}}}",
+            self.n,
+            fnum(self.mean),
+            fnum(self.sd),
+            fnum(self.sem),
+            fnum(self.min),
+            fnum(self.max),
+            fnum(self.ci95_lo),
+            fnum(self.ci95_hi),
+        ));
+    }
+}
+
+/// One grid cell's aggregated results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The cell's grid coordinates.
+    pub cell: Cell,
+    /// Trials run.
+    pub trials: u64,
+    /// Trials whose protocol halted by itself; the metric summaries
+    /// cover exactly these.
+    pub completed: u64,
+    /// Headline figure: legacy-equivalent spreading rounds, or total
+    /// dates for the dating service.
+    pub value: MetricSummary,
+    /// Engine rounds per trial.
+    pub rounds: MetricSummary,
+    /// Messages sent per trial.
+    pub sent: MetricSummary,
+    /// Messages delivered per trial.
+    pub delivered: MetricSummary,
+}
+
+/// A whole sweep's results: the spec's deterministic identity plus one
+/// [`CellReport`] per grid cell, in canonical cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Master seed the sweep derived every trial from.
+    pub seed: u64,
+    /// Trials per cell.
+    pub trials_per_cell: u64,
+    /// Per-cell results, in [`SweepSpec::cells`] order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Assemble the report from the engine's per-cell aggregates.
+    pub(crate) fn assemble(spec: &SweepSpec, cells: Vec<Cell>, aggs: Vec<CellAgg>) -> Self {
+        let cells = cells
+            .into_iter()
+            .zip(aggs)
+            .map(|(cell, agg)| CellReport {
+                cell,
+                trials: agg.trials,
+                completed: agg.completed,
+                value: MetricSummary::from_stats(&agg.value),
+                rounds: MetricSummary::from_stats(&agg.rounds),
+                sent: MetricSummary::from_stats(&agg.sent),
+                delivered: MetricSummary::from_stats(&agg.delivered),
+            })
+            .collect();
+        Self {
+            seed: spec.seed,
+            trials_per_cell: spec.trials,
+            cells,
+        }
+    }
+
+    /// Canonical JSON rendering (schema `rendez-fleet/sweep-v1`).
+    ///
+    /// Deterministic content only: two byte-identical renderings mean
+    /// two identical sweeps, whatever engine or pool size produced
+    /// them.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + 640 * self.cells.len());
+        out.push_str("{\n  \"schema\": \"rendez-fleet/sweep-v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"trials_per_cell\": {},\n",
+            self.trials_per_cell
+        ));
+        out.push_str(&format!("  \"trials_per_job\": {TRIALS_PER_JOB},\n"));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"index\": {}, \"n\": {}, \"protocol\": \"{}\", \"churn\": {}, \"loss\": {}, \"trials\": {}, \"completed\": {},\n",
+                c.cell.index,
+                c.cell.n,
+                c.cell.protocol.name(),
+                fnum(c.cell.churn),
+                fnum(c.cell.loss),
+                c.trials,
+                c.completed,
+            ));
+            for (j, (key, m)) in [
+                ("value", &c.value),
+                ("rounds", &c.rounds),
+                ("sent", &c.sent),
+                ("delivered", &c.delivered),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                out.push_str(&format!("     \"{key}\": "));
+                m.render(&mut out);
+                out.push_str(if j < 3 { ",\n" } else { "}" });
+            }
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Shortest-roundtrip float rendering; non-finite → `null` (min/max of
+/// a cell with zero completed trials are ±∞).
+fn fnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_serial;
+    use rendez_runtime::Spreader;
+
+    #[test]
+    fn json_is_valid_and_carries_ci_bounds() {
+        let spec = SweepSpec::new()
+            .ns(vec![16])
+            .protocols(vec![Spreader::Push])
+            .trials(8)
+            .seed(3);
+        let report = run_serial(&spec).expect("runs");
+        let json = report.to_json();
+        let parsed = crate::json::parse(&json).expect("self-parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("rendez-fleet/sweep-v1")
+        );
+        let cells = parsed
+            .get("cells")
+            .and_then(|v| v.as_array())
+            .expect("cells array");
+        assert_eq!(cells.len(), 1);
+        let value = cells[0].get("value").expect("value metric");
+        let lo = value.get("ci95_lo").and_then(|v| v.as_f64()).expect("lo");
+        let hi = value.get("ci95_hi").and_then(|v| v.as_f64()).expect("hi");
+        let mean = value.get("mean").and_then(|v| v.as_f64()).expect("mean");
+        assert!(lo <= mean && mean <= hi);
+        assert_eq!(
+            cells[0].get("completed").and_then(|v| v.as_f64()),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn non_finite_stats_render_as_null() {
+        let m = MetricSummary::from_stats(&RunningStats::new());
+        let mut s = String::new();
+        m.render(&mut s);
+        assert!(s.contains("\"min\": null"));
+        assert!(s.contains("\"max\": null"));
+        assert!(crate::json::parse(&s).is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! The fleet's headline guarantee, end to end: one 64-cell sweep
+//! produces byte-identical `SweepReport` JSON at pool sizes 1, 2 and 8,
+//! and identical to the serial baseline — scheduling decides wall-clock
+//! time only, never a single output bit.
+
+use rendez_fleet::{run_serial, Fleet, SweepSpec, TRIALS_PER_JOB};
+use rendez_runtime::Spreader;
+
+/// A 64-cell grid (4 × 4 × 2 × 2) with enough trials per cell that
+/// every cell splits into several blocks, exercising the reorder
+/// buffer's out-of-order merges at larger pool sizes.
+fn grid() -> SweepSpec {
+    let trials = 2 * TRIALS_PER_JOB + TRIALS_PER_JOB / 2; // 3 blocks/cell
+    SweepSpec::new()
+        .ns(vec![8, 10, 12, 16])
+        .protocols(vec![
+            Spreader::Push,
+            Spreader::PushPull,
+            Spreader::FairPull,
+            Spreader::DatingService,
+        ])
+        .churns(vec![0.0, 0.15])
+        .losses(vec![0.0, 0.1])
+        .trials(trials)
+        .cycles(6)
+        .seed(2008)
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_pool_sizes_and_engines() {
+    let spec = grid();
+    assert_eq!(spec.cell_count(), 64);
+
+    let reference = run_serial(&spec).expect("serial sweep").to_json();
+    for threads in [1usize, 2, 8] {
+        let fleet = Fleet::new(threads);
+        let json = fleet.run(&spec).expect("fleet sweep").to_json();
+        assert_eq!(
+            reference, json,
+            "pool size {threads} diverged from the serial baseline"
+        );
+    }
+}
+
+#[test]
+fn every_cell_is_fully_sampled_and_summarized() {
+    let spec = grid();
+    let report = run_serial(&spec).expect("serial sweep");
+    assert_eq!(report.cells.len(), 64);
+    for cell in &report.cells {
+        assert_eq!(cell.trials, spec.trials, "cell {}", cell.cell.index);
+        assert!(cell.completed > 0, "cell {}", cell.cell.index);
+        assert_eq!(cell.value.n, cell.completed);
+        assert!(
+            cell.value.ci95_lo <= cell.value.mean && cell.value.mean <= cell.value.ci95_hi,
+            "cell {}: CI must bracket the mean",
+            cell.cell.index
+        );
+        assert!(cell.value.min <= cell.value.mean && cell.value.mean <= cell.value.max);
+    }
+}

@@ -13,12 +13,19 @@
 //!   buckets between rounds;
 //! * [`ConditionedExecutor`] — wraps any inner executor and overrides the
 //!   run's channel [`Conditions`](crate::Conditions) (loss, latency distributions).
+//!
+//! For back-to-back runs (Monte-Carlo sweeps), [`WorkerPool`] keeps the
+//! shard worker threads parked between runs:
+//! [`ShardedExecutor::run_in`] borrows the pool instead of spawning
+//! fresh threads, with a bit-identical report.
 
 mod conditioned;
+mod pool;
 mod sequential;
 mod sharded;
 
 pub use conditioned::ConditionedExecutor;
+pub use pool::{PoolScope, WorkerPool};
 pub use sequential::SequentialExecutor;
 pub use sharded::ShardedExecutor;
 

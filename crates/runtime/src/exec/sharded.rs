@@ -73,6 +73,7 @@
 //! non-overlapping ranges), every pointer derives from the single
 //! original allocation, and the owning vectors outlive the worker scope.
 
+use super::pool::{PoolScope, WorkerPool};
 use super::{validate_run, Executor};
 use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport};
@@ -80,6 +81,28 @@ use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Where a run's shard workers execute: fresh scoped threads
+/// ([`std::thread::scope`]) or parked threads borrowed from a
+/// [`WorkerPool`]. Both guarantee every worker has exited before the
+/// spawning construct returns, which is what the raw-pointer safety
+/// model requires.
+trait ShardSpawner<'env> {
+    /// Start one shard worker loop.
+    fn spawn_worker<F: FnOnce() + Send + 'env>(&self, f: F);
+}
+
+impl<'scope, 'env> ShardSpawner<'env> for &'scope std::thread::Scope<'scope, 'env> {
+    fn spawn_worker<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.spawn(f);
+    }
+}
+
+impl<'pool, 'env> ShardSpawner<'env> for PoolScope<'pool, 'env> {
+    fn spawn_worker<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.spawn(f);
+    }
+}
 
 /// Executes rounds over a persistent pool of shard worker threads.
 #[derive(Debug, Clone, Copy)]
@@ -429,148 +452,246 @@ impl Executor for ShardedExecutor {
         cfg: &RunConfig,
     ) -> RunReport<P::Output> {
         validate_run(n, cfg);
-        let chunk = n.div_ceil(self.shards.max(1));
-        let shards = n.div_ceil(chunk);
-        let slots = cfg.conditions.latency_slots();
+        drive(self.shards, proto, n, cfg, None)
+    }
+}
 
-        let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
-        let mut seqs: Vec<u64> = vec![0; n];
-        let mut nodes: Vec<P::Node> = (0..n)
-            .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
-            .collect();
-        let mut live = vec![true; if cfg.churn.is_none() { 0 } else { n }];
+impl ShardedExecutor {
+    /// Like [`run`](Executor::run), but the shard workers execute on
+    /// parked threads borrowed from `pool` instead of freshly spawned
+    /// ones — back-to-back runs then pay thread spawn cost once, for the
+    /// pool's lifetime, instead of once per run.
+    ///
+    /// The report is bit-identical to [`run`](Executor::run)'s (and to
+    /// [`SequentialExecutor`](super::SequentialExecutor)'s) — the
+    /// determinism contract is executor- and shard-count-independent. To
+    /// respect the pool's deadlock discipline (each shard worker parks a
+    /// long-lived loop on one pool thread), the effective shard count is
+    /// capped at `pool.size()`, which by that same contract cannot
+    /// change the report.
+    pub fn run_in<P: RoundProtocol>(
+        &self,
+        pool: &WorkerPool,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output> {
+        validate_run(n, cfg);
+        drive(
+            self.shards.min(pool.size()).max(1),
+            proto,
+            n,
+            cfg,
+            Some(pool),
+        )
+    }
+}
 
-        // Raw views handed to the workers; every access after this point
-        // (worker chunks AND the coordinator's digest/finalize views)
-        // derives from these pointers, under the module's safety model.
-        let nodes_ptr = nodes.as_mut_ptr();
-        let rngs_ptr = rngs.as_mut_ptr();
-        let seqs_ptr = seqs.as_mut_ptr();
-        let live_ptr = if live.is_empty() {
+/// Shared entry point for both spawning strategies: allocate the run
+/// state, raw-view it for the workers, then run the coordinator inside
+/// whichever scoped construct was requested.
+fn drive<P: RoundProtocol>(
+    shards_requested: usize,
+    proto: &mut P,
+    n: usize,
+    cfg: &RunConfig,
+    pool: Option<&WorkerPool>,
+) -> RunReport<P::Output> {
+    let chunk = n.div_ceil(shards_requested.max(1));
+    let shards = n.div_ceil(chunk);
+    let slots = cfg.conditions.latency_slots();
+
+    let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
+    let mut seqs: Vec<u64> = vec![0; n];
+    let mut nodes: Vec<P::Node> = (0..n)
+        .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
+        .collect();
+    let mut live = vec![true; if cfg.churn.is_none() { 0 } else { n }];
+
+    // Raw views handed to the workers; every access after this point
+    // (worker chunks AND the coordinator's digest/finalize views)
+    // derives from these pointers, under the module's safety model.
+    let geo = Geometry {
+        n,
+        chunk,
+        shards,
+        slots,
+    };
+    let ptrs = StatePtrs::<P> {
+        nodes: nodes.as_mut_ptr(),
+        rngs: rngs.as_mut_ptr(),
+        seqs: seqs.as_mut_ptr(),
+        live: if live.is_empty() {
             std::ptr::null_mut()
         } else {
             live.as_mut_ptr()
+        },
+        proto,
+    };
+
+    // Both constructs guarantee every worker exited before they return,
+    // so the state vectors above outlive all raw accesses.
+    match pool {
+        None => std::thread::scope(|scope| coordinate(&scope, geo, ptrs, cfg)),
+        Some(pool) => pool.scope(|ps| coordinate(ps, geo, ptrs, cfg)),
+    }
+}
+
+/// Shard layout of one run.
+#[derive(Clone, Copy)]
+struct Geometry {
+    n: usize,
+    chunk: usize,
+    shards: usize,
+    slots: usize,
+}
+
+/// Raw views of the run state (see the module-level safety model).
+struct StatePtrs<P: RoundProtocol> {
+    nodes: *mut P::Node,
+    rngs: *mut SmallRng,
+    seqs: *mut u64,
+    live: *mut bool,
+    proto: *mut P,
+}
+
+/// The coordinator: spawn one worker loop per shard on `spawner`, then
+/// run the fan-out / splice-merge round loop until the protocol halts.
+fn coordinate<'env, S, P>(
+    spawner: &S,
+    geo: Geometry,
+    ptrs: StatePtrs<P>,
+    cfg: &'env RunConfig,
+) -> RunReport<P::Output>
+where
+    S: ShardSpawner<'env>,
+    P: RoundProtocol + 'env,
+    P::Node: 'env,
+    P::Msg: 'env,
+{
+    let Geometry {
+        n,
+        chunk,
+        shards,
+        slots,
+    } = geo;
+    let nodes_ptr = ptrs.nodes;
+    let proto_ptr = ptrs.proto;
+    let mut task_txs: Vec<Sender<Task<P::Msg>>> = Vec::with_capacity(shards);
+    let mut result_rxs: Vec<Receiver<RoundOut<P::Msg>>> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let base = s * chunk;
+        let len = chunk.min(n - base);
+        // SAFETY: `base + len <= n`, ranges are disjoint across
+        // shards, and the vectors outlive the spawning construct.
+        let handle = ShardHandle::<P> {
+            base,
+            len,
+            nodes: unsafe { ptrs.nodes.add(base) },
+            rngs: unsafe { ptrs.rngs.add(base) },
+            seqs: unsafe { ptrs.seqs.add(base) },
+            live: if ptrs.live.is_null() {
+                ptrs.live
+            } else {
+                unsafe { ptrs.live.add(base) }
+            },
+            proto: ptrs.proto,
         };
-        let proto_ptr: *mut P = proto;
+        let (task_tx, task_rx) = channel();
+        let (result_tx, result_rx) = channel();
+        task_txs.push(task_tx);
+        result_rxs.push(result_rx);
+        spawner.spawn_worker(move || {
+            worker_loop(handle, cfg, n, chunk, shards, slots, task_rx, result_tx)
+        });
+    }
 
-        std::thread::scope(|scope| {
-            let mut task_txs: Vec<Sender<Task<P::Msg>>> = Vec::with_capacity(shards);
-            let mut result_rxs: Vec<Receiver<RoundOut<P::Msg>>> = Vec::with_capacity(shards);
-            for s in 0..shards {
-                let base = s * chunk;
-                let len = chunk.min(n - base);
-                // SAFETY: `base + len <= n`, ranges are disjoint across
-                // shards, and the vectors outlive this scope.
-                let handle = ShardHandle::<P> {
-                    base,
-                    len,
-                    nodes: unsafe { nodes_ptr.add(base) },
-                    rngs: unsafe { rngs_ptr.add(base) },
-                    seqs: unsafe { seqs_ptr.add(base) },
-                    live: if live_ptr.is_null() {
-                        live_ptr
-                    } else {
-                        unsafe { live_ptr.add(base) }
-                    },
-                    proto: proto_ptr,
-                };
-                let (task_tx, task_rx) = channel();
-                let (result_tx, result_rx) = channel();
-                task_txs.push(task_tx);
-                result_rxs.push(result_rx);
-                scope.spawn(move || {
-                    worker_loop(handle, cfg, n, chunk, shards, slots, task_rx, result_tx)
-                });
-            }
+    let mut buckets: VecDeque<Row<P::Msg>> = VecDeque::new();
+    // Recycled shells: dispatched rows (only the outer
+    // length-`shards` lane Vec keeps its capacity — the per-dest
+    // segment lists move into tasks and are tiny) and each
+    // shard's hollowed routed skeleton, returned with the next
+    // task.
+    let mut row_pool: Vec<Row<P::Msg>> = Vec::new();
+    let mut skeletons: Vec<Routed<P::Msg>> = (0..shards).map(|_| Routed::default()).collect();
+    let mut stats = NetStats::default();
+    let mut digests = Vec::new();
 
-            let mut buckets: VecDeque<Row<P::Msg>> = VecDeque::new();
-            // Recycled shells: dispatched rows (only the outer
-            // length-`shards` lane Vec keeps its capacity — the per-dest
-            // segment lists move into tasks and are tiny) and each
-            // shard's hollowed routed skeleton, returned with the next
-            // task.
-            let mut row_pool: Vec<Row<P::Msg>> = Vec::new();
-            let mut skeletons: Vec<Routed<P::Msg>> =
-                (0..shards).map(|_| Routed::default()).collect();
-            let mut stats = NetStats::default();
-            let mut digests = Vec::new();
+    for round in 0..cfg.max_rounds {
+        // Fan out: hand each worker its due segments. Lane `Vec`s
+        // move wholesale — no envelope is touched here.
+        let mut row = buckets
+            .pop_front()
+            .or_else(|| row_pool.pop())
+            .unwrap_or_else(|| Row::empty(shards));
+        for (s, tx) in task_txs.iter().enumerate() {
+            tx.send(Task {
+                round,
+                due: std::mem::take(&mut row.lanes[s]),
+                mixed: row.mixed,
+                skeleton: std::mem::take(&mut skeletons[s]),
+            })
+            .expect("shard worker exited early");
+        }
+        row.filled_round = u64::MAX;
+        row.mixed = false;
+        row_pool.push(row);
 
-            for round in 0..cfg.max_rounds {
-                // Fan out: hand each worker its due segments. Lane `Vec`s
-                // move wholesale — no envelope is touched here.
-                let mut row = buckets
-                    .pop_front()
-                    .or_else(|| row_pool.pop())
-                    .unwrap_or_else(|| Row::empty(shards));
-                for (s, tx) in task_txs.iter().enumerate() {
-                    tx.send(Task {
-                        round,
-                        due: std::mem::take(&mut row.lanes[s]),
-                        mixed: row.mixed,
-                        skeleton: std::mem::take(&mut skeletons[s]),
-                    })
-                    .expect("shard worker exited early");
+        // Collect in shard order and splice: shard s's bucket for
+        // (slot, dest) is appended after shards 0..s's, so each
+        // lane's concatenation equals the sequential emission
+        // order (module docs, invariant 3).
+        for (s, rx) in result_rxs.iter().enumerate() {
+            let mut out = rx.recv().expect("shard worker panicked");
+            stats.absorb(&out.tally);
+            for (slot, lanes) in out.routed.iter_mut().enumerate() {
+                while buckets.len() <= slot {
+                    buckets.push_back(row_pool.pop().unwrap_or_else(|| Row::empty(shards)));
                 }
-                row.filled_round = u64::MAX;
-                row.mixed = false;
-                row_pool.push(row);
-
-                // Collect in shard order and splice: shard s's bucket for
-                // (slot, dest) is appended after shards 0..s's, so each
-                // lane's concatenation equals the sequential emission
-                // order (module docs, invariant 3).
-                for (s, rx) in result_rxs.iter().enumerate() {
-                    let mut out = rx.recv().expect("shard worker panicked");
-                    stats.absorb(&out.tally);
-                    for (slot, lanes) in out.routed.iter_mut().enumerate() {
-                        while buckets.len() <= slot {
-                            buckets.push_back(row_pool.pop().unwrap_or_else(|| Row::empty(shards)));
-                        }
-                        let row = &mut buckets[slot];
-                        for (dest, seg) in lanes.iter_mut().enumerate() {
-                            if seg.is_empty() {
-                                continue;
-                            }
-                            if row.filled_round != u64::MAX && row.filled_round != round {
-                                row.mixed = true;
-                            }
-                            row.filled_round = round;
-                            row.lanes[dest].push(std::mem::take(seg));
-                        }
+                let row = &mut buckets[slot];
+                for (dest, seg) in lanes.iter_mut().enumerate() {
+                    if seg.is_empty() {
+                        continue;
                     }
-                    // The hollowed structure goes back to shard s as the
-                    // next round's skeleton.
-                    skeletons[s] = out.routed;
-                }
-
-                // SAFETY: every worker has delivered its result and is
-                // parked on `recv`; the channel handshakes order those
-                // accesses before these views (module safety model).
-                let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
-                let proto_mut: &mut P = unsafe { &mut *proto_ptr };
-                digests.push(proto_mut.digest(nodes_view, round));
-                if let Verdict::Halt(output) = proto_mut.finalize(nodes_view, round) {
-                    return RunReport {
-                        rounds: round + 1,
-                        completed: true,
-                        output: Some(output),
-                        digests,
-                        stats,
-                    };
+                    if row.filled_round != u64::MAX && row.filled_round != round {
+                        row.mixed = true;
+                    }
+                    row.filled_round = round;
+                    row.lanes[dest].push(std::mem::take(seg));
                 }
             }
+            // The hollowed structure goes back to shard s as the
+            // next round's skeleton.
+            skeletons[s] = out.routed;
+        }
 
-            RunReport {
-                rounds: cfg.max_rounds,
-                completed: false,
-                output: None,
+        // SAFETY: every worker has delivered its result and is
+        // parked on `recv`; the channel handshakes order those
+        // accesses before these views (module safety model).
+        let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
+        let proto_mut: &mut P = unsafe { &mut *proto_ptr };
+        digests.push(proto_mut.digest(nodes_view, round));
+        if let Verdict::Halt(output) = proto_mut.finalize(nodes_view, round) {
+            return RunReport {
+                rounds: round + 1,
+                completed: true,
+                output: Some(output),
                 digests,
                 stats,
-            }
-        })
-        // Scope exit drops the task senders; workers see the hangup,
-        // drain out, and are joined before the state vectors drop.
+            };
+        }
     }
+
+    RunReport {
+        rounds: cfg.max_rounds,
+        completed: false,
+        output: None,
+        digests,
+        stats,
+    }
+    // Returning drops the task senders; workers see the hangup, drain
+    // out, and are joined by the enclosing scope/pool construct before
+    // the state vectors drop.
 }
 
 #[cfg(test)]
@@ -611,6 +732,62 @@ mod tests {
         let mut out = vec![env(0, 0, 0)]; // stale scratch must be cleared
         counting_bucket(&mut segments, 4, &mut counts, &mut out, |e| e.dst.index());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pooled_run_matches_scoped_run_bit_for_bit() {
+        use super::super::testproto::RandomPing;
+        use crate::report::RunConfig;
+
+        let run_scoped = |shards: usize| {
+            let mut p = RandomPing {
+                n: 193,
+                target_total: 5 * 193,
+            };
+            ShardedExecutor::new(shards).run(&mut p, 193, &RunConfig::seeded(7).max_rounds(100))
+        };
+        let reference = run_scoped(3);
+        let pool = WorkerPool::new(3);
+        // Back-to-back pooled runs on ONE pool: same parked threads, and
+        // every report identical to the freshly-spawned-threads one.
+        for _ in 0..3 {
+            let mut p = RandomPing {
+                n: 193,
+                target_total: 5 * 193,
+            };
+            let pooled = ShardedExecutor::new(3).run_in(
+                &pool,
+                &mut p,
+                193,
+                &RunConfig::seeded(7).max_rounds(100),
+            );
+            assert_eq!(reference.digests, pooled.digests);
+            assert_eq!(reference.stats, pooled.stats);
+            assert_eq!(reference.output, pooled.output);
+        }
+    }
+
+    #[test]
+    fn pooled_run_caps_shards_at_pool_size() {
+        use super::super::testproto::RandomPing;
+        use crate::report::RunConfig;
+
+        // 8 requested shards on a 2-thread pool must not deadlock, and
+        // by the determinism contract the report is unchanged.
+        let pool = WorkerPool::new(2);
+        let mut p = RandomPing {
+            n: 50,
+            target_total: 100,
+        };
+        let pooled =
+            ShardedExecutor::new(8).run_in(&pool, &mut p, 50, &RunConfig::seeded(3).max_rounds(60));
+        let mut p = RandomPing {
+            n: 50,
+            target_total: 100,
+        };
+        let scoped = ShardedExecutor::new(8).run(&mut p, 50, &RunConfig::seeded(3).max_rounds(60));
+        assert_eq!(scoped.digests, pooled.digests);
+        assert_eq!(scoped.stats, pooled.stats);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub use adapters::{
 };
 pub use churn::{Churn, ChurnModel};
 pub use conditions::{Conditions, LatencyDist};
-pub use exec::{ConditionedExecutor, Executor, SequentialExecutor, ShardedExecutor};
+pub use exec::{
+    ConditionedExecutor, Executor, PoolScope, SequentialExecutor, ShardedExecutor, WorkerPool,
+};
 pub use proto::{Envelope, Outbox, RoundProtocol, Verdict};
 pub use registry::Spreader;
 pub use report::{NetStats, RunConfig, RunReport};

@@ -32,7 +32,7 @@ use crate::adapters::{
 };
 use crate::churn::Churn;
 use crate::conditions::Conditions;
-use crate::exec::{Executor, SequentialExecutor, ShardedExecutor};
+use crate::exec::{Executor, SequentialExecutor, ShardedExecutor, WorkerPool};
 use crate::proto::RoundProtocol;
 use crate::registry::Spreader;
 use crate::report::{RunConfig, RunReport};
@@ -384,6 +384,28 @@ impl<S: NodeSelector + Clone> Scenario<S> {
     /// The result is a pure function of `(scenario, seed)` — the shard
     /// count changes wall-clock time, never the report.
     pub fn run(&self, seed: u64) -> Result<ScenarioReport, ScenarioError> {
+        self.run_with(seed, None)
+    }
+
+    /// Like [`run`](Self::run), but a sharded scenario executes its
+    /// shard workers on parked threads borrowed from `pool`
+    /// ([`ShardedExecutor::run_in`]) — back-to-back runs then reuse the
+    /// same threads instead of spawning fresh ones per run. Sequential
+    /// scenarios ignore the pool. The report is bit-identical to
+    /// [`run`](Self::run)'s for the same seed.
+    pub fn run_pooled(
+        &self,
+        pool: &WorkerPool,
+        seed: u64,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        self.run_with(seed, Some(pool))
+    }
+
+    fn run_with(
+        &self,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+    ) -> Result<ScenarioReport, ScenarioError> {
         self.validate()?;
         let churn = if self.protocol.is_spreading()
             && !self.churn.is_none()
@@ -404,32 +426,32 @@ impl<S: NodeSelector + Clone> Scenario<S> {
             Spreader::DatingService => {
                 let mut p =
                     RuntimeDating::new(self.platform.clone(), self.selector.clone(), self.cycles);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Dating)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Dating)
             }
             Spreader::Push => {
                 let mut p = RtPush::new(self.n, self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::Pull => {
                 let mut p = RtPull::new(self.n, self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::PushPull => {
                 let mut p = RtPushPull::new(self.n, self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::FairPull => {
                 let mut p = RtFairPull::new(self.n, self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::FairPushPull => {
                 let mut p = RtFairPushPull::new(self.n, self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::Dating => {
                 let mut p =
                     RtDatingSpread::new(self.platform.clone(), self.selector.clone(), self.source);
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
             Spreader::LossyDating => {
                 let mut p = RtDatingSpread::with_loss(
@@ -438,7 +460,7 @@ impl<S: NodeSelector + Clone> Scenario<S> {
                     self.source,
                     self.loss,
                 );
-                self.execute(&mut p, &cfg).map(WorkloadOutput::Spread)
+                self.execute(&mut p, &cfg, pool).map(WorkloadOutput::Spread)
             }
         };
         Ok(report)
@@ -455,10 +477,16 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         }
     }
 
-    fn execute<P: RoundProtocol>(&self, proto: &mut P, cfg: &RunConfig) -> RunReport<P::Output> {
-        match self.shards {
-            None => SequentialExecutor.run(proto, self.n, cfg),
-            Some(k) => ShardedExecutor::new(k).run(proto, self.n, cfg),
+    fn execute<P: RoundProtocol>(
+        &self,
+        proto: &mut P,
+        cfg: &RunConfig,
+        pool: Option<&WorkerPool>,
+    ) -> RunReport<P::Output> {
+        match (self.shards, pool) {
+            (None, _) => SequentialExecutor.run(proto, self.n, cfg),
+            (Some(k), None) => ShardedExecutor::new(k).run(proto, self.n, cfg),
+            (Some(k), Some(pool)) => ShardedExecutor::new(k).run_in(pool, proto, self.n, cfg),
         }
     }
 }
@@ -511,6 +539,26 @@ mod tests {
                 .expect_output();
             assert_eq!(seq, sh, "k={k}");
         }
+    }
+
+    #[test]
+    fn pooled_scenario_runs_match_unpooled() {
+        use crate::exec::WorkerPool;
+        let pool = WorkerPool::new(2);
+        let scenario = Scenario::new(300).protocol(Spreader::PushPull).sharded(2);
+        let plain = scenario.run(11).expect("valid");
+        for _ in 0..2 {
+            let pooled = scenario.run_pooled(&pool, 11).expect("valid");
+            assert_eq!(plain.digests, pooled.digests);
+            assert_eq!(plain.stats, pooled.stats);
+            assert_eq!(plain.output, pooled.output);
+        }
+        // Sequential scenarios ignore the pool but still work through it.
+        let seq = Scenario::new(100).cycles(3);
+        assert_eq!(
+            seq.run(5).expect("valid").digests,
+            seq.run_pooled(&pool, 5).expect("valid").digests
+        );
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! | [`coding`] | §5 extension: GF(256) randomized network coding for rumor mongering |
 //! | [`storage`] | §5 extension: replicated storage via dating-driven block exchange |
 //! | [`sim`] | deterministic synchronous round engine, churn, metrics, parallel Monte-Carlo runner |
-//! | [`runtime`] | sans-I/O round runtime: per-node protocol state machines behind pluggable sequential / sharded-parallel / conditioned executors |
+//! | [`runtime`] | sans-I/O round runtime: per-node protocol state machines behind pluggable sequential / sharded-parallel / conditioned executors, plus the persistent [`WorkerPool`](runtime::WorkerPool) |
+//! | [`fleet`] | Monte-Carlo fleet engine: persistent-pool sweep scheduler with streaming (Welford) aggregation into machine-readable sweep reports |
 //! | [`stats`] | Welford summaries, histograms, Poisson/Binomial/Hypergeometric/Geometric/Zipf, chi-square and KS tests |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@
 pub use rendez_coding as coding;
 pub use rendez_core as core;
 pub use rendez_dht as dht;
+pub use rendez_fleet as fleet;
 pub use rendez_gossip as gossip;
 pub use rendez_runtime as runtime;
 pub use rendez_sim as sim;
@@ -68,6 +70,7 @@ pub mod prelude {
         RoundOutcome, RoundWorkspace, UniformSelector,
     };
     pub use rendez_dht::DhtSelector;
+    pub use rendez_fleet::{Fleet, SweepReport, SweepSpec};
     pub use rendez_gossip::{run_spread, DatingSpread, SpreadProtocol};
     pub use rendez_runtime::{
         Churn, Executor, RunConfig, RuntimeDating, Scenario, ScenarioError, SequentialExecutor,
