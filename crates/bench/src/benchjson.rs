@@ -1,14 +1,18 @@
 //! Machine-readable benchmark records (`BENCH_runtime.json`).
 //!
 //! The perf trajectory of the runtime hot path is tracked as a small,
-//! dependency-free JSON file with two series:
+//! dependency-free JSON file with three series:
 //!
 //! * `records` — one [`BenchRecord`] per `{workload, n, shards}` cell
 //!   (wall-clock, ns/round, msgs/sec), emitted by
 //!   `exp_runtime_scaling --bench-out PATH`;
 //! * `sweep_throughput` — one [`SweepThroughputRecord`] per
 //!   `{engine, pool}` sweep run (scenarios/sec over a whole
-//!   Monte-Carlo grid), emitted by `exp_sweep --bench-out PATH`.
+//!   Monte-Carlo grid), emitted by `exp_sweep --bench-out PATH`;
+//! * `scaling` — one [`ScalingRecord`] per `{workload, n, shards}`
+//!   point of the millions-of-nodes series (ns/round, msgs/sec **and**
+//!   resident bytes/node), emitted by
+//!   `exp_runtime_scaling --n-series --bench-out PATH`.
 //!
 //! Each emitter rewrites only its own series: [`load_bench_json`]
 //! reads the other series back (via `rendez_fleet`'s JSON reader) so
@@ -122,6 +126,72 @@ impl SweepThroughputRecord {
     }
 }
 
+/// One point of the millions-of-nodes `n`-scaling series: a streaming
+/// run at a given `{workload, n, shards}` together with its resident
+/// node-state footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRecord {
+    /// Registry workload name (e.g. `dating-spread`).
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Shard count (0 = sequential executor).
+    pub shards: usize,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Messages queued by protocol code over the run.
+    pub msgs_sent: u64,
+    /// Total resident node-state bytes at end of run
+    /// (`RunReport::node_bytes`).
+    pub node_bytes: u64,
+}
+
+impl ScalingRecord {
+    /// Nanoseconds per executed round.
+    pub fn ns_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.wall_s * 1e9 / self.rounds as f64
+    }
+
+    /// Sent messages processed per wall-clock second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.msgs_sent as f64 / self.wall_s
+    }
+
+    /// Resident node-state bytes per node.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.node_bytes as f64 / self.n as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":{},\"n\":{},\"shards\":{},\"rounds\":{},\
+             \"wall_s\":{:.6},\"ns_per_round\":{:.1},\"msgs_sent\":{},\
+             \"msgs_per_sec\":{:.1},\"node_bytes\":{},\"bytes_per_node\":{:.1}}}",
+            json_string(&self.workload),
+            self.n,
+            self.shards,
+            self.rounds,
+            self.wall_s,
+            self.ns_per_round(),
+            self.msgs_sent,
+            self.msgs_per_sec(),
+            self.node_bytes,
+            self.bytes_per_node()
+        )
+    }
+}
+
 /// Escape a string for JSON embedding.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -141,38 +211,44 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Render the full benchmark document (both series).
+/// Append one series (`"key": [ ... ],`) to the document body.
+fn push_series<T>(out: &mut String, key: &str, items: &[T], to_json: impl Fn(&T) -> String) {
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, r) in items.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&to_json(r));
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]");
+}
+
+/// Render the full benchmark document (all three series).
 pub fn render_bench_json(
     cores: usize,
     seed: u64,
     records: &[BenchRecord],
     sweeps: &[SweepThroughputRecord],
+    scaling: &[ScalingRecord],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"rendez-bench/runtime-v1\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"seed\": \"{seed:#x}\",\n"));
-    out.push_str("  \"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str("    ");
-        out.push_str(&r.to_json());
-        if i + 1 < records.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"sweep_throughput\": [\n");
-    for (i, r) in sweeps.iter().enumerate() {
-        out.push_str("    ");
-        out.push_str(&r.to_json());
-        if i + 1 < sweeps.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ]\n}\n");
+    push_series(&mut out, "records", records, BenchRecord::to_json);
+    out.push_str(",\n");
+    push_series(
+        &mut out,
+        "sweep_throughput",
+        sweeps,
+        SweepThroughputRecord::to_json,
+    );
+    out.push_str(",\n");
+    push_series(&mut out, "scaling", scaling, ScalingRecord::to_json);
+    out.push_str("\n}\n");
     out
 }
 
@@ -183,21 +259,30 @@ pub fn write_bench_json(
     seed: u64,
     records: &[BenchRecord],
     sweeps: &[SweepThroughputRecord],
+    scaling: &[ScalingRecord],
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(render_bench_json(cores, seed, records, sweeps).as_bytes())
+    f.write_all(render_bench_json(cores, seed, records, sweeps, scaling).as_bytes())
 }
 
-/// Read both series back from an existing benchmark file, so an
-/// emitter can rewrite its own series while preserving the other's.
+/// All three series of a benchmark document, as read back by
+/// [`load_bench_json`].
+pub type BenchSeries = (
+    Vec<BenchRecord>,
+    Vec<SweepThroughputRecord>,
+    Vec<ScalingRecord>,
+);
+
+/// Read every series back from an existing benchmark file, so an
+/// emitter can rewrite its own series while preserving the others.
 /// Returns empty series when the file is missing or unparseable
 /// (emitters then start a fresh document).
-pub fn load_bench_json(path: &Path) -> (Vec<BenchRecord>, Vec<SweepThroughputRecord>) {
+pub fn load_bench_json(path: &Path) -> BenchSeries {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new());
     };
     let Ok(doc) = json::parse(&text) else {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new());
     };
     let records = doc
         .get("records")
@@ -213,7 +298,14 @@ pub fn load_bench_json(path: &Path) -> (Vec<BenchRecord>, Vec<SweepThroughputRec
         .iter()
         .filter_map(sweep_record_from)
         .collect();
-    (records, sweeps)
+    let scaling = doc
+        .get("scaling")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(scaling_record_from)
+        .collect();
+    (records, sweeps, scaling)
 }
 
 fn field_f64(v: &Json, key: &str) -> Option<f64> {
@@ -240,6 +332,18 @@ fn sweep_record_from(v: &Json) -> Option<SweepThroughputRecord> {
         trials_per_cell: field_f64(v, "trials_per_cell")? as u64,
         trials: field_f64(v, "trials")? as u64,
         wall_s: field_f64(v, "wall_s")?,
+    })
+}
+
+fn scaling_record_from(v: &Json) -> Option<ScalingRecord> {
+    Some(ScalingRecord {
+        workload: v.get("workload")?.as_str()?.to_string(),
+        n: field_f64(v, "n")? as usize,
+        shards: field_f64(v, "shards")? as usize,
+        rounds: field_f64(v, "rounds")? as u64,
+        wall_s: field_f64(v, "wall_s")?,
+        msgs_sent: field_f64(v, "msgs_sent")? as u64,
+        node_bytes: field_f64(v, "node_bytes")? as u64,
     })
 }
 
@@ -284,18 +388,55 @@ mod tests {
         }
     }
 
+    fn scaling_record() -> ScalingRecord {
+        ScalingRecord {
+            workload: "dating-spread".to_string(),
+            n: 1_000_000,
+            shards: 0,
+            rounds: 66,
+            wall_s: 3.3,
+            msgs_sent: 66_000_000,
+            node_bytes: 40_000_000,
+        }
+    }
+
     #[test]
     fn renders_valid_shape() {
-        let doc = render_bench_json(4, 0x5CA1E, &[record()], &[sweep_record()]);
+        let doc = render_bench_json(
+            4,
+            0x5CA1E,
+            &[record()],
+            &[sweep_record()],
+            &[scaling_record()],
+        );
         assert!(doc.contains("\"schema\": \"rendez-bench/runtime-v1\""));
         assert!(doc.contains("\"seed\": \"0x5ca1e\""));
         assert!(doc.contains("\"workload\":\"dating\""));
         assert!(doc.contains("\"msgs_per_sec\":4000000.0"));
         assert!(doc.contains("\"sweep_throughput\""));
         assert!(doc.contains("\"scenarios_per_sec\":1024.0"));
+        assert!(doc.contains("\"scaling\""));
+        assert!(doc.contains("\"bytes_per_node\":40.0"));
         // The document parses with the same reader the emitters use to
         // merge, so writer and reader cannot drift apart.
         assert!(json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn scaling_rates() {
+        let r = scaling_record();
+        assert!((r.ns_per_round() - 50_000_000.0).abs() < 1e-3);
+        assert!((r.msgs_per_sec() - 20_000_000.0).abs() < 1e-3);
+        assert!((r.bytes_per_node() - 40.0).abs() < 1e-9);
+        let degenerate = ScalingRecord {
+            n: 0,
+            rounds: 0,
+            wall_s: 0.0,
+            ..scaling_record()
+        };
+        assert_eq!(degenerate.ns_per_round(), 0.0);
+        assert_eq!(degenerate.msgs_per_sec(), 0.0);
+        assert_eq!(degenerate.bytes_per_node(), 0.0);
     }
 
     #[test]
@@ -316,19 +457,31 @@ mod tests {
     #[test]
     fn round_trips_through_load() {
         let path = std::env::temp_dir().join("rendez_benchjson_test.json");
-        write_bench_json(&path, 1, 7, &[record()], &[sweep_record()]).expect("write");
-        let (records, sweeps) = load_bench_json(&path);
+        write_bench_json(
+            &path,
+            1,
+            7,
+            &[record()],
+            &[sweep_record()],
+            &[scaling_record()],
+        )
+        .expect("write");
+        let (records, sweeps, scaling) = load_bench_json(&path);
         assert_eq!(records, vec![record()]);
         assert_eq!(sweeps, vec![sweep_record()]);
+        assert_eq!(scaling, vec![scaling_record()]);
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn load_tolerates_missing_and_legacy_files() {
         let missing = std::path::Path::new("/nonexistent/rendez_bench.json");
-        assert_eq!(load_bench_json(missing), (Vec::new(), Vec::new()));
-        // A pre-sweep document (no sweep_throughput key) still yields
-        // its records.
+        assert_eq!(
+            load_bench_json(missing),
+            (Vec::new(), Vec::new(), Vec::new())
+        );
+        // A pre-sweep document (no sweep_throughput or scaling key)
+        // still yields its records.
         let path = std::env::temp_dir().join("rendez_benchjson_legacy.json");
         std::fs::write(
             &path,
@@ -337,9 +490,10 @@ mod tests {
                 + "]}",
         )
         .expect("write");
-        let (records, sweeps) = load_bench_json(&path);
+        let (records, sweeps, scaling) = load_bench_json(&path);
         assert_eq!(records.len(), 1);
         assert!(sweeps.is_empty());
+        assert!(scaling.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 }

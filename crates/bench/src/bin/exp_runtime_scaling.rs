@@ -17,14 +17,24 @@
 //!    machine-readable records (ns/round, msgs/sec per
 //!    `{workload, n, shards}`) so the hot path's perf trajectory is
 //!    tracked across PRs; see `BENCH_runtime.json` and `EXPERIMENTS.md`.
+//! 4. **n-scaling series** (`--n-series`) — the millions-of-nodes tier:
+//!    the dating-spread workload at each `--series-n` point (default
+//!    `10⁵` and `10⁶`), sequential plus every `--series-shards` count,
+//!    exercising the streaming per-shard finalize and arena-backed node
+//!    state. Each point verifies digest-trace identity across
+//!    executors and records ns/round, msgs/sec and resident bytes/node
+//!    into the `scaling` series of the benchmark file. Points whose
+//!    estimated footprint exceeds `MemAvailable` are skipped.
 //!
 //! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
-//!         [--shards 2,4,8] [--gate-n N] [--bench-out PATH] [--csv]`
+//!         [--shards 2,4,8] [--gate-n N] [--bench-out PATH]
+//!         [--n-series] [--series-n 100000,1000000]
+//!         [--series-shards 1,2,8] [--csv]`
 //!
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
 
-use rendez_bench::{load_bench_json, write_bench_json, BenchRecord, CliArgs, Table};
+use rendez_bench::{load_bench_json, write_bench_json, BenchRecord, CliArgs, ScalingRecord, Table};
 use rendez_runtime::{Churn, Scenario, ScenarioReport, Spreader};
 use std::time::Instant;
 
@@ -47,6 +57,32 @@ fn record(workload: &str, n: usize, shards: usize, r: &ScenarioReport, wall_s: f
         wall_s,
         msgs_sent: r.stats.sent,
         msgs_delivered: r.stats.delivered,
+    }
+}
+
+/// Per-node resident-footprint estimate used by the memory gate:
+/// node state plus arena lanes plus in-flight envelopes. Deliberately
+/// generous — skipping a point is cheaper than thrashing swap.
+const EST_BYTES_PER_NODE: u64 = 256;
+
+/// `MemAvailable` from `/proc/meminfo`, in bytes. `None` (non-Linux or
+/// unreadable) disables the memory gate.
+fn available_mem_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with("MemAvailable:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn scaling_point(n: usize, shards: usize, r: &ScenarioReport, wall_s: f64) -> ScalingRecord {
+    ScalingRecord {
+        workload: Spreader::Dating.name().to_string(),
+        n,
+        shards,
+        rounds: r.rounds,
+        wall_s,
+        msgs_sent: r.stats.sent,
+        node_bytes: r.node_bytes,
     }
 }
 
@@ -182,14 +218,85 @@ fn main() {
         }
     );
 
+    // ---- n-scaling series: the millions-of-nodes tier.
+    let mut scaling_records: Vec<ScalingRecord> = Vec::new();
+    if args.has("n-series") {
+        let series_n = args.get_usize_list("series-n", &[100_000, 1_000_000]);
+        let series_shards = args.get_usize_list("series-shards", &[1, 2, 8]);
+        println!();
+        println!(
+            "# n-scaling series — {} via streaming finalize + arena node state",
+            Spreader::Dating.name()
+        );
+        let mut st = Table::new(
+            vec![
+                "n", "shards", "rounds", "wall_s", "ns/round", "Mmsg/s", "B/node", "trace",
+            ],
+            args.has("csv"),
+        );
+        for &sn in &series_n {
+            if let Some(avail) = available_mem_bytes() {
+                let est = sn as u64 * EST_BYTES_PER_NODE;
+                if est > avail {
+                    println!(
+                        "# skipping n={sn}: estimated {est} bytes resident, \
+                         only {avail} available"
+                    );
+                    continue;
+                }
+            }
+            let sc = Scenario::new(sn).protocol(Spreader::Dating);
+            let (seq, seq_wall) = timed_run(&sc, seed);
+            let mut point_rows =
+                vec![(0usize, seq_wall, scaling_point(sn, 0, &seq, seq_wall), true)];
+            for &k in &series_shards {
+                let sharded = sc.clone().sharded(k);
+                let (sh, wall) = timed_run(&sharded, seed);
+                let same = seq.digests == sh.digests && identical(&seq, &sh);
+                all_identical &= same;
+                point_rows.push((k, wall, scaling_point(sn, k, &sh, wall), same));
+            }
+            for (k, wall, rec, same) in point_rows {
+                st.row(vec![
+                    sn.to_string(),
+                    k.to_string(),
+                    rec.rounds.to_string(),
+                    format!("{wall:.3}"),
+                    format!("{:.0}", rec.ns_per_round()),
+                    format!("{:.2}", rec.msgs_per_sec() / 1e6),
+                    format!("{:.1}", rec.bytes_per_node()),
+                    if k == 0 {
+                        "reference".to_string()
+                    } else if same {
+                        "identical".to_string()
+                    } else {
+                        "DIVERGED".to_string()
+                    },
+                ]);
+                scaling_records.push(rec);
+            }
+        }
+        st.print();
+    }
+
     if !bench_out.is_empty() {
         let path = std::path::Path::new(&bench_out);
         // Preserve the sweep_throughput series exp_sweep owns; rewrite
-        // only the scaling records.
-        let (_, sweeps) = load_bench_json(path);
-        write_bench_json(path, cores, seed, &records, &sweeps)
+        // only the records this binary produced. The scaling series is
+        // replaced only when `--n-series` actually ran.
+        let (_, sweeps, old_scaling) = load_bench_json(path);
+        let scaling_out = if args.has("n-series") {
+            &scaling_records
+        } else {
+            &old_scaling
+        };
+        write_bench_json(path, cores, seed, &records, &sweeps, scaling_out)
             .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
-        println!("# wrote {} benchmark records to {bench_out}", records.len());
+        println!(
+            "# wrote {} benchmark records and {} scaling points to {bench_out}",
+            records.len(),
+            scaling_out.len()
+        );
     }
     assert!(all_identical, "sharded executor diverged from sequential");
 }

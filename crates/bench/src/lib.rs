@@ -18,6 +18,8 @@ pub mod cli;
 pub mod experiments;
 pub mod table;
 
-pub use benchjson::{load_bench_json, write_bench_json, BenchRecord, SweepThroughputRecord};
+pub use benchjson::{
+    load_bench_json, write_bench_json, BenchRecord, ScalingRecord, SweepThroughputRecord,
+};
 pub use cli::CliArgs;
 pub use table::Table;

@@ -17,11 +17,47 @@
 //! | [`RtFairPull`] | 3 | uninformed request | informed answer **one** | answers land |
 //! | [`RtFairPushPull`] | 3 | push + request | rumor lands; answer one | answers land |
 
-use super::spread::{informed_digest, spread_finalize, GossipMsg, SpreadNode, SpreadRunSummary};
-use crate::proto::{Outbox, RoundProtocol, Verdict};
+use super::spread::{
+    observe_spread, spread_digest_obs, spread_finalize, GossipMsg, SpreadNode, SpreadRunSummary,
+};
+use crate::arena::STASH_REQUESTS;
+use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rendez_sim::NodeId;
+
+/// The six observation methods every baseline shares: streaming
+/// [`RoundObs`] fold via [`observe_spread`], verdict via
+/// [`spread_finalize`], and the slice fallbacks expressed as the same
+/// fold — parameterized only by the adapter's engine-rounds-per-cycle.
+macro_rules! spread_observation {
+    ($cycle:expr) => {
+        fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
+            let obs = observe_nodes(&*self, 0, nodes, round);
+            self.finalize_obs(&obs, round)
+        }
+
+        fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
+            spread_digest_obs(&observe_nodes(self, 0, nodes, round), round)
+        }
+
+        fn streams(&self) -> bool {
+            true
+        }
+
+        fn observe_node(&self, node: &SpreadNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+            observe_spread(node, id, round, obs);
+        }
+
+        fn finalize_obs(&mut self, obs: &RoundObs, round: u64) -> Verdict<SpreadRunSummary> {
+            spread_finalize(&mut self.history, obs.count, self.n, round, $cycle, 0)
+        }
+
+        fn digest_obs(&self, obs: &RoundObs, round: u64) -> u64 {
+            spread_digest_obs(obs, round)
+        }
+    };
+}
 
 /// Simple PUSH: each cycle every informed node sends the rumor to a
 /// uniform target (§1). Two engine rounds per cycle: send, land.
@@ -91,13 +127,7 @@ impl RoundProtocol for RtPush {
         }
     }
 
-    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
-    }
-
-    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
-    }
+    spread_observation!(Self::CYCLE);
 }
 
 /// Simple (unfair) PULL: each cycle every uninformed node asks a uniform
@@ -174,13 +204,7 @@ impl RoundProtocol for RtPull {
         }
     }
 
-    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
-    }
-
-    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
-    }
+    spread_observation!(Self::CYCLE);
 }
 
 /// Fair PULL: like [`RtPull`] but an informed node answers only **one**
@@ -212,15 +236,17 @@ impl RtFairPull {
 }
 
 /// Phase-1 round end for the fair variants: an informed node answers one
-/// uniform request from its inbox; every node then clears its inbox (an
-/// uninformed target silently wastes the requests addressed to it,
-/// exactly as in the legacy grouping).
-fn answer_one_request(node: &mut SpreadNode, rng: &mut SmallRng, out: &mut Outbox<'_, GossipMsg>) {
-    if node.informed && !node.requests_inbox.is_empty() {
-        let winner = node.requests_inbox[rng.gen_range(0..node.requests_inbox.len())];
+/// uniform request from its arena stash. No clearing is needed — the
+/// stash expires at the round boundary, so an uninformed target silently
+/// wastes the requests addressed to it, exactly as in the legacy
+/// grouping (and the RNG is consumed only when an answer is drawn, same
+/// as before).
+fn answer_one_request(informed: bool, rng: &mut SmallRng, out: &mut Outbox<'_, GossipMsg>) {
+    let pending = out.stash_len(STASH_REQUESTS);
+    if informed && pending > 0 {
+        let winner = out.stash_at(STASH_REQUESTS, rng.gen_range(0..pending));
         out.send(winner, GossipMsg::Rumor);
     }
-    node.requests_inbox.clear();
 }
 
 impl RoundProtocol for RtFairPull {
@@ -258,11 +284,11 @@ impl RoundProtocol for RtFairPull {
         msg: GossipMsg,
         _round: u64,
         _rng: &mut SmallRng,
-        _out: &mut Outbox<'_, GossipMsg>,
+        out: &mut Outbox<'_, GossipMsg>,
     ) {
         match msg {
             GossipMsg::Rumor => node.pending = true,
-            GossipMsg::PullRequest => node.requests_inbox.push(from),
+            GossipMsg::PullRequest => out.stash(STASH_REQUESTS, from),
         }
     }
 
@@ -275,17 +301,11 @@ impl RoundProtocol for RtFairPull {
         out: &mut Outbox<'_, GossipMsg>,
     ) {
         if round % Self::CYCLE == 1 {
-            answer_one_request(node, rng, out);
+            answer_one_request(node.informed, rng, out);
         }
     }
 
-    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
-    }
-
-    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
-    }
+    spread_observation!(Self::CYCLE);
 }
 
 /// Fair PUSH&PULL — PUSH plus the one-answer fair PULL (§4's "PUSH and
@@ -351,11 +371,11 @@ impl RoundProtocol for RtFairPushPull {
         msg: GossipMsg,
         _round: u64,
         _rng: &mut SmallRng,
-        _out: &mut Outbox<'_, GossipMsg>,
+        out: &mut Outbox<'_, GossipMsg>,
     ) {
         match msg {
             GossipMsg::Rumor => node.pending = true,
-            GossipMsg::PullRequest => node.requests_inbox.push(from),
+            GossipMsg::PullRequest => out.stash(STASH_REQUESTS, from),
         }
     }
 
@@ -368,17 +388,11 @@ impl RoundProtocol for RtFairPushPull {
         out: &mut Outbox<'_, GossipMsg>,
     ) {
         if round % Self::CYCLE == 1 {
-            answer_one_request(node, rng, out);
+            answer_one_request(node.informed, rng, out);
         }
     }
 
-    fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
-    }
-
-    fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
-    }
+    spread_observation!(Self::CYCLE);
 }
 
 #[cfg(test)]

@@ -14,20 +14,42 @@
 //! runs unchanged on the sequential, sharded and conditioned executors.
 //! `oracle_vs_distributed`-style equivalence is asserted in
 //! `tests/runtime_equivalence.rs` via the same KS harness.
+//!
+//! # Millions-of-nodes layout
+//!
+//! [`DatingNode`] is a flat 40-byte struct — no heap. The offer/request
+//! inboxes live in the executor shard's [`NodeArena`](crate::NodeArena)
+//! (filled via [`Outbox::stash`] during the delivery phase, drained at
+//! round end of the same round), and per-cycle date history is
+//! accumulated **in the protocol object** from the streaming
+//! [`RoundObs`] date lane, one entry per matchmaking round — so node
+//! count no longer multiplies allocations, and the coordinator never
+//! scans the node slice between rounds.
 
-use crate::proto::{Outbox, RoundProtocol, Verdict};
+use crate::arena::{STASH_OFFERS, STASH_REQUESTS};
+use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};
 use rand::rngs::SmallRng;
 use rendez_core::distributed::{DatingMsg, PAYLOAD_BYTES};
-use rendez_core::matching::partial_shuffle;
 use rendez_core::overhead::ADDRESS_BYTES;
 use rendez_core::{NodeSelector, Platform};
 use rendez_sim::{NodeId, SplitMix64};
+
+/// [`RoundObs`] lane: cumulative payloads received, summed over nodes.
+const L_PAYLOADS: usize = 0;
+/// [`RoundObs`] lane: cumulative answers received, summed over nodes.
+const L_ANSWERS: usize = 1;
+/// [`RoundObs`] lane: dates arranged in the *current* cycle.
+const L_DATES: usize = 2;
 
 /// The dating service as a runtime protocol.
 pub struct RuntimeDating<S: NodeSelector> {
     platform: Platform,
     selector: S,
     max_cycles: u64,
+    /// Per-cycle date totals, accumulated from the streaming round
+    /// observations (one entry appended per matchmaking round); taken
+    /// into the [`DatingRunSummary`] on halt.
+    dates_per_cycle: Vec<u64>,
 }
 
 impl<S: NodeSelector> RuntimeDating<S> {
@@ -45,6 +67,7 @@ impl<S: NodeSelector> RuntimeDating<S> {
             platform,
             selector,
             max_cycles,
+            dates_per_cycle: Vec::new(),
         }
     }
 
@@ -67,13 +90,20 @@ impl<S: NodeSelector> RuntimeDating<S> {
     }
 }
 
-/// Per-node dating state.
+/// Per-node dating state: flat scalars only (40 bytes, no heap — the
+/// inboxes live in the shard's arena, the per-cycle history in the
+/// protocol object).
 #[derive(Debug, Default)]
 pub struct DatingNode {
-    offers_inbox: Vec<NodeId>,
-    requests_inbox: Vec<NodeId>,
-    /// Dates this node arranged, indexed by cycle.
-    dates_per_cycle: Vec<u64>,
+    /// Dates this node arranged in its most recent matchmaking round.
+    dates_cycle: u64,
+    /// `cycle + 1` of the matchmaking round that wrote `dates_cycle`
+    /// (0 = never matched). Lets the round observation skip stale
+    /// tallies of nodes that were down (churned) in the current cycle's
+    /// matchmaking round.
+    dates_mark: u64,
+    /// Dates this node arranged over the whole run.
+    dates_total: u64,
     payloads_received: u64,
     answers_received: u64,
 }
@@ -138,8 +168,8 @@ impl<S: NodeSelector> RoundProtocol for RuntimeDating<S> {
         out: &mut Outbox<'_, DatingMsg>,
     ) {
         match msg {
-            DatingMsg::Offer => node.offers_inbox.push(from),
-            DatingMsg::Request => node.requests_inbox.push(from),
+            DatingMsg::Offer => out.stash(STASH_OFFERS, from),
+            DatingMsg::Request => out.stash(STASH_REQUESTS, from),
             DatingMsg::AnswerOffer(partner) => {
                 node.answers_received += 1;
                 if let Some(p) = partner {
@@ -166,65 +196,43 @@ impl<S: NodeSelector> RoundProtocol for RuntimeDating<S> {
         if Self::phase_of(round) != 1 {
             return;
         }
-        let cycle = Self::cycle_of(round) as usize;
-        while node.dates_per_cycle.len() <= cycle {
-            node.dates_per_cycle.push(0);
-        }
-        let offers = &mut node.offers_inbox;
-        let requests = &mut node.requests_inbox;
-        let q = offers.len().min(requests.len());
+        let offers = out.stash_len(STASH_OFFERS);
+        let requests = out.stash_len(STASH_REQUESTS);
+        let q = offers.min(requests);
         // Uniform q-subsets in uniform order → positional pairing is a
-        // uniform random perfect matching (identical to the oracle form).
-        partial_shuffle(offers, q, rng);
-        partial_shuffle(requests, q, rng);
-        node.dates_per_cycle[cycle] += q as u64;
+        // uniform random perfect matching (identical to the oracle
+        // form). The stash shuffle consumes the RNG exactly like
+        // `partial_shuffle` on the old per-node inbox `Vec`s.
+        out.shuffle_stash(STASH_OFFERS, q, rng);
+        out.shuffle_stash(STASH_REQUESTS, q, rng);
+        node.dates_cycle = q as u64;
+        node.dates_mark = Self::cycle_of(round) + 1;
+        node.dates_total += q as u64;
         for j in 0..q {
-            out.send(offers[j], DatingMsg::AnswerOffer(Some(requests[j])));
-            out.send(requests[j], DatingMsg::AnswerRequest(Some(offers[j])));
+            let o = out.stash_at(STASH_OFFERS, j);
+            let r = out.stash_at(STASH_REQUESTS, j);
+            out.send(o, DatingMsg::AnswerOffer(Some(r)));
+            out.send(r, DatingMsg::AnswerRequest(Some(o)));
         }
-        for &o in &offers[q..] {
+        for j in q..offers {
+            let o = out.stash_at(STASH_OFFERS, j);
             out.send(o, DatingMsg::AnswerOffer(None));
         }
-        for &r in &requests[q..] {
+        for j in q..requests {
+            let r = out.stash_at(STASH_REQUESTS, j);
             out.send(r, DatingMsg::AnswerRequest(None));
         }
-        offers.clear();
-        requests.clear();
+        // No clearing: the arena stash expires at the round boundary.
     }
 
     fn finalize(&mut self, nodes: &[DatingNode], round: u64) -> Verdict<DatingRunSummary> {
-        if round + 1 < self.total_rounds() {
-            return Verdict::Continue;
-        }
-        let cycles = self.max_cycles as usize;
-        let mut dates_per_cycle = vec![0u64; cycles];
-        let mut payloads_received = 0u64;
-        let mut answers_received = 0u64;
-        for node in nodes {
-            for (c, &d) in node.dates_per_cycle.iter().enumerate() {
-                if c < cycles {
-                    dates_per_cycle[c] += d;
-                }
-            }
-            payloads_received += node.payloads_received;
-            answers_received += node.answers_received;
-        }
-        Verdict::Halt(DatingRunSummary {
-            dates_per_cycle,
-            payloads_received,
-            answers_received,
-        })
+        let obs = observe_nodes(&*self, 0, nodes, round);
+        self.finalize_obs(&obs, round)
     }
 
     fn digest(&self, nodes: &[DatingNode], round: u64) -> u64 {
-        let mut h = SplitMix64::mix(round ^ 0xDA71);
-        for node in nodes {
-            let local: u64 = node.dates_per_cycle.iter().sum::<u64>()
-                ^ (node.payloads_received << 20)
-                ^ (node.answers_received << 40);
-            h = SplitMix64::mix(h ^ local);
-        }
-        h
+        let obs = observe_nodes(self, 0, nodes, round);
+        self.digest_obs(&obs, round)
     }
 
     fn msg_bytes(&self, msg: &DatingMsg) -> usize {
@@ -232,6 +240,49 @@ impl<S: NodeSelector> RoundProtocol for RuntimeDating<S> {
             DatingMsg::Payload => PAYLOAD_BYTES,
             _ => ADDRESS_BYTES,
         }
+    }
+
+    fn streams(&self) -> bool {
+        true
+    }
+
+    fn observe_node(&self, node: &DatingNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+        obs.lane_add(L_PAYLOADS, node.payloads_received);
+        obs.lane_add(L_ANSWERS, node.answers_received);
+        // Only tallies written in the current cycle's matchmaking round
+        // count — a matchmaker that was down this cycle keeps its stale
+        // tally marked with an older cycle, which must not be recounted.
+        if node.dates_mark == Self::cycle_of(round) + 1 {
+            obs.lane_add(L_DATES, node.dates_cycle);
+        }
+        let local =
+            node.dates_total ^ (node.payloads_received << 20) ^ (node.answers_received << 40);
+        let salt = SplitMix64::mix(round ^ 0xDA71);
+        obs.digest ^= SplitMix64::mix(local ^ SplitMix64::mix(salt ^ id.index() as u64));
+    }
+
+    fn finalize_obs(&mut self, obs: &RoundObs, round: u64) -> Verdict<DatingRunSummary> {
+        if Self::phase_of(round) == 1 {
+            let cycle = Self::cycle_of(round) as usize;
+            while self.dates_per_cycle.len() <= cycle {
+                self.dates_per_cycle.push(0);
+            }
+            self.dates_per_cycle[cycle] += obs.lane(L_DATES);
+        }
+        if round + 1 < self.total_rounds() {
+            return Verdict::Continue;
+        }
+        let mut dates_per_cycle = std::mem::take(&mut self.dates_per_cycle);
+        dates_per_cycle.resize(self.max_cycles as usize, 0);
+        Verdict::Halt(DatingRunSummary {
+            dates_per_cycle,
+            payloads_received: obs.lane(L_PAYLOADS),
+            answers_received: obs.lane(L_ANSWERS),
+        })
+    }
+
+    fn digest_obs(&self, obs: &RoundObs, round: u64) -> u64 {
+        SplitMix64::mix(round ^ 0xDA71) ^ obs.digest
     }
 }
 

@@ -15,24 +15,24 @@
 //! legacy-equivalent round count, which is what the KS-agreement tests in
 //! `tests/scenario_api.rs` pin to the centralized oracle.
 
-use crate::proto::{Outbox, RoundProtocol, Verdict};
+use crate::arena::{STASH_OFFERS, STASH_REQUESTS};
+use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rendez_core::distributed::PAYLOAD_BYTES;
-use rendez_core::matching::partial_shuffle;
 use rendez_core::overhead::ADDRESS_BYTES;
 use rendez_core::{NodeSelector, Platform};
 use rendez_sim::{NodeId, SplitMix64};
 
-/// Per-node rumor state shared by the spread adapters.
+/// Per-node rumor state shared by the spread adapters: two booleans, no
+/// heap — the offer/request inboxes of the dating-style adapters live in
+/// the executor shard's [`NodeArena`](crate::NodeArena) stash lanes.
 #[derive(Debug, Default)]
 pub struct SpreadNode {
     /// Informed as of the current cycle's start.
     pub informed: bool,
     /// Informed mid-cycle; becomes `informed` at the next cycle start.
     pub pending: bool,
-    pub(crate) offers_inbox: Vec<NodeId>,
-    pub(crate) requests_inbox: Vec<NodeId>,
 }
 
 impl SpreadNode {
@@ -48,6 +48,24 @@ impl SpreadNode {
             ..Self::default()
         }
     }
+}
+
+/// Streaming fold shared by every spread adapter: count informed nodes
+/// and XOR a per-node identity hash into the digest accumulator. The
+/// per-node hash is salted with the round, so the digest changes every
+/// round even while the informed set is static.
+pub(crate) fn observe_spread(node: &SpreadNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+    if node.knows() {
+        obs.count += 1;
+        obs.digest ^= SplitMix64::mix(SplitMix64::mix(round ^ 0x5EED) ^ id.index() as u64);
+    }
+}
+
+/// Streaming digest shared by every spread adapter (see
+/// [`observe_spread`]). XOR-merged per-node hashes make this invariant
+/// under shard regrouping — the [`RoundObs`] merge-determinism rule.
+pub(crate) fn spread_digest_obs(obs: &RoundObs, round: u64) -> u64 {
+    SplitMix64::mix(round ^ 0x5EED) ^ obs.digest
 }
 
 /// What a spreading run reports on completion.
@@ -83,26 +101,16 @@ pub(crate) fn check_loss(loss: f64) -> Result<(), &'static str> {
     }
 }
 
-pub(crate) fn informed_count(nodes: &[SpreadNode]) -> u64 {
-    nodes.iter().filter(|v| v.knows()).count() as u64
-}
-
-pub(crate) fn informed_digest(nodes: &[SpreadNode], round: u64) -> u64 {
-    let mut h = SplitMix64::mix(round ^ 0x5EED);
-    for (i, v) in nodes.iter().enumerate() {
-        if v.knows() {
-            h = SplitMix64::mix(h ^ i as u64);
-        }
-    }
-    h
-}
-
 /// Shared finalize for spread adapters: record history, halt when all
-/// nodes know the rumor, converting engine rounds to legacy-equivalent
-/// cycles with `cycle_len` (and `lag` trailing delivery rounds).
+/// `n` nodes know the rumor, converting engine rounds to
+/// legacy-equivalent cycles with `cycle_len` (and `lag` trailing
+/// delivery rounds). `count` is the informed total from this round's
+/// observation — either a merged streaming [`RoundObs`] or a slice scan;
+/// by the merge-determinism rule the two are equal.
 pub(crate) fn spread_finalize(
     history: &mut Vec<u64>,
-    nodes: &[SpreadNode],
+    count: u64,
+    n: usize,
     round: u64,
     cycle_len: u64,
     lag: u64,
@@ -110,9 +118,8 @@ pub(crate) fn spread_finalize(
     if history.is_empty() {
         history.push(1);
     }
-    let count = informed_count(nodes);
     history.push(count);
-    if count == nodes.len() as u64 {
+    if count == n as u64 {
         let rounds = round + 1;
         Verdict::Halt(SpreadRunSummary {
             rounds,
@@ -226,11 +233,28 @@ impl RoundProtocol for RtPushPull {
     }
 
     fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 0)
+        let obs = observe_nodes(&*self, 0, nodes, round);
+        self.finalize_obs(&obs, round)
     }
 
     fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
+        spread_digest_obs(&observe_nodes(self, 0, nodes, round), round)
+    }
+
+    fn streams(&self) -> bool {
+        true
+    }
+
+    fn observe_node(&self, node: &SpreadNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+        observe_spread(node, id, round, obs);
+    }
+
+    fn finalize_obs(&mut self, obs: &RoundObs, round: u64) -> Verdict<SpreadRunSummary> {
+        spread_finalize(&mut self.history, obs.count, self.n, round, Self::CYCLE, 0)
+    }
+
+    fn digest_obs(&self, obs: &RoundObs, round: u64) -> u64 {
+        spread_digest_obs(obs, round)
     }
 }
 
@@ -355,8 +379,8 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
         out: &mut Outbox<'_, DatingSpreadMsg>,
     ) {
         match msg {
-            DatingSpreadMsg::Offer => node.offers_inbox.push(from),
-            DatingSpreadMsg::Request => node.requests_inbox.push(from),
+            DatingSpreadMsg::Offer => out.stash(STASH_OFFERS, from),
+            DatingSpreadMsg::Request => out.stash(STASH_REQUESTS, from),
             DatingSpreadMsg::AnswerOffer(partner) => {
                 if let Some(p) = partner {
                     // Link-fault injection: the payload of this date is
@@ -384,7 +408,7 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
 
     fn on_round_end(
         &self,
-        node: &mut SpreadNode,
+        _node: &mut SpreadNode,
         _id: NodeId,
         round: u64,
         rng: &mut SmallRng,
@@ -393,33 +417,35 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
         if round % Self::CYCLE != 1 {
             return;
         }
-        let offers = &mut node.offers_inbox;
-        let requests = &mut node.requests_inbox;
-        let q = offers.len().min(requests.len());
-        partial_shuffle(offers, q, rng);
-        partial_shuffle(requests, q, rng);
+        let offers = out.stash_len(STASH_OFFERS);
+        let requests = out.stash_len(STASH_REQUESTS);
+        let q = offers.min(requests);
+        out.shuffle_stash(STASH_OFFERS, q, rng);
+        out.shuffle_stash(STASH_REQUESTS, q, rng);
         for j in 0..q {
-            out.send(offers[j], DatingSpreadMsg::AnswerOffer(Some(requests[j])));
-            out.send(requests[j], DatingSpreadMsg::AnswerRequest(Some(offers[j])));
+            let o = out.stash_at(STASH_OFFERS, j);
+            let r = out.stash_at(STASH_REQUESTS, j);
+            out.send(o, DatingSpreadMsg::AnswerOffer(Some(r)));
+            out.send(r, DatingSpreadMsg::AnswerRequest(Some(o)));
         }
-        for &o in &offers[q..] {
+        for j in q..offers {
+            let o = out.stash_at(STASH_OFFERS, j);
             out.send(o, DatingSpreadMsg::AnswerOffer(None));
         }
-        for &r in &requests[q..] {
+        for j in q..requests {
+            let r = out.stash_at(STASH_REQUESTS, j);
             out.send(r, DatingSpreadMsg::AnswerRequest(None));
         }
-        offers.clear();
-        requests.clear();
+        // No clearing: the arena stash expires at the round boundary.
     }
 
     fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
-        // Payloads of cycle c land at the start of round 3(c+1): one
-        // engine round of lag before cycle accounting.
-        spread_finalize(&mut self.history, nodes, round, Self::CYCLE, 1)
+        let obs = observe_nodes(&*self, 0, nodes, round);
+        self.finalize_obs(&obs, round)
     }
 
     fn digest(&self, nodes: &[SpreadNode], round: u64) -> u64 {
-        informed_digest(nodes, round)
+        spread_digest_obs(&observe_nodes(self, 0, nodes, round), round)
     }
 
     fn msg_bytes(&self, msg: &DatingSpreadMsg) -> usize {
@@ -427,6 +453,31 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
             DatingSpreadMsg::Payload { .. } => PAYLOAD_BYTES,
             _ => ADDRESS_BYTES,
         }
+    }
+
+    fn streams(&self) -> bool {
+        true
+    }
+
+    fn observe_node(&self, node: &SpreadNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+        observe_spread(node, id, round, obs);
+    }
+
+    fn finalize_obs(&mut self, obs: &RoundObs, round: u64) -> Verdict<SpreadRunSummary> {
+        // Payloads of cycle c land at the start of round 3(c+1): one
+        // engine round of lag before cycle accounting.
+        spread_finalize(
+            &mut self.history,
+            obs.count,
+            self.platform.n(),
+            round,
+            Self::CYCLE,
+            1,
+        )
+    }
+
+    fn digest_obs(&self, obs: &RoundObs, round: u64) -> u64 {
+        spread_digest_obs(obs, round)
     }
 }
 

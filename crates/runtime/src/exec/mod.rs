@@ -85,6 +85,13 @@ pub(crate) fn schedule_sends<P: RoundProtocol>(
     }
 }
 
+/// Sum [`RoundProtocol::node_mem_bytes`] over a run's final node states
+/// — the bytes/node metric recorded into
+/// [`RunReport::node_bytes`](crate::RunReport::node_bytes).
+pub(crate) fn tally_node_bytes<P: RoundProtocol>(proto: &P, nodes: &[P::Node]) -> u64 {
+    nodes.iter().map(|v| proto.node_mem_bytes(v) as u64).sum()
+}
+
 /// Shared conditions sanity-check for executor entry points.
 pub(crate) fn validate_run(n: usize, cfg: &RunConfig) {
     assert!(n > 0, "a run needs at least one node");
@@ -102,8 +109,9 @@ pub(crate) mod testproto {
     //! A tiny protocol used by the executor unit tests: every node sends
     //! one `Ping` to a random target per round; nodes count receptions;
     //! the run halts when the total reception count reaches a threshold.
+    //! Runs on the streaming observation path, like the real adapters.
 
-    use crate::proto::{Outbox, RoundProtocol, Verdict};
+    use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};
     use rand::rngs::SmallRng;
     use rand::Rng;
     use rendez_sim::{NodeId, SplitMix64};
@@ -112,6 +120,8 @@ pub(crate) mod testproto {
         pub n: usize,
         pub target_total: u64,
     }
+
+    const L_SENT: usize = 0;
 
     #[derive(Default)]
     pub struct PingNode {
@@ -154,21 +164,37 @@ pub(crate) mod testproto {
             node.received += msg as u64;
         }
 
-        fn finalize(&mut self, nodes: &[PingNode], _round: u64) -> Verdict<u64> {
-            let total: u64 = nodes.iter().map(|v| v.received).sum();
-            if total >= self.target_total {
-                Verdict::Halt(total)
+        fn finalize(&mut self, nodes: &[PingNode], round: u64) -> Verdict<u64> {
+            let obs = observe_nodes(&*self, 0, nodes, round);
+            self.finalize_obs(&obs, round)
+        }
+
+        fn digest(&self, nodes: &[PingNode], round: u64) -> u64 {
+            let obs = observe_nodes(self, 0, nodes, round);
+            self.digest_obs(&obs, round)
+        }
+
+        fn streams(&self) -> bool {
+            true
+        }
+
+        fn observe_node(&self, node: &PingNode, id: NodeId, round: u64, obs: &mut RoundObs) {
+            obs.count = obs.count.wrapping_add(node.received);
+            obs.lane_add(L_SENT, node.sent);
+            let local = (node.received << 16) ^ node.sent;
+            obs.digest ^= SplitMix64::mix(local ^ SplitMix64::mix(round ^ id.index() as u64));
+        }
+
+        fn finalize_obs(&mut self, obs: &RoundObs, _round: u64) -> Verdict<u64> {
+            if obs.count >= self.target_total {
+                Verdict::Halt(obs.count)
             } else {
                 Verdict::Continue
             }
         }
 
-        fn digest(&self, nodes: &[PingNode], round: u64) -> u64 {
-            let mut h = SplitMix64::mix(round);
-            for v in nodes {
-                h = SplitMix64::mix(h ^ (v.received << 16) ^ v.sent);
-            }
-            h
+        fn digest_obs(&self, obs: &RoundObs, round: u64) -> u64 {
+            SplitMix64::mix(round) ^ obs.digest
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The single-threaded reference executor.
 
-use super::{schedule_sends, validate_run, Executor};
-use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
+use super::{schedule_sends, tally_node_bytes, validate_run, Executor};
+use crate::arena::NodeArena;
+use crate::proto::{observe_nodes, Envelope, Outbox, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
@@ -39,12 +40,14 @@ impl Executor for SequentialExecutor {
         let mut buckets: VecDeque<Vec<Envelope<P::Msg>>> = VecDeque::new();
         let mut free: Vec<Vec<Envelope<P::Msg>>> = Vec::new();
         let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut arena = NodeArena::new(0, n);
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
         let churned = !cfg.churn.is_none();
         let mut live = vec![true; if churned { n } else { 0 }];
 
         for round in 0..cfg.max_rounds {
+            arena.begin_round();
             if churned {
                 cfg.churn.fill_live_mask(cfg.seed, round, 0, &mut live);
             }
@@ -57,7 +60,7 @@ impl Executor for SequentialExecutor {
                     continue;
                 }
                 let id = NodeId::from_index(i);
-                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
                 proto.on_round_start(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
@@ -72,7 +75,7 @@ impl Executor for SequentialExecutor {
                     continue;
                 }
                 stats.delivered += 1;
-                let mut out = Outbox::new(env.dst, n, &mut seqs[i], &mut fresh);
+                let mut out = Outbox::new(env.dst, n, &mut seqs[i], &mut fresh, &mut arena);
                 proto.on_message(
                     &mut nodes[i],
                     env.dst,
@@ -90,7 +93,7 @@ impl Executor for SequentialExecutor {
                     continue;
                 }
                 let id = NodeId::from_index(i);
-                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh);
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
                 proto.on_round_end(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
@@ -98,14 +101,25 @@ impl Executor for SequentialExecutor {
             // round's sends and close out the round.
             free.push(due);
             schedule_sends(proto, cfg, &mut fresh, &mut buckets, &mut free, &mut stats);
-            digests.push(proto.digest(&nodes, round));
-            if let Verdict::Halt(output) = proto.finalize(&nodes, round) {
+            // Observation: the streaming path folds the node slice into
+            // one RoundObs (exactly what the sharded workers do per
+            // shard); the legacy path hands the whole slice over.
+            let verdict = if proto.streams() {
+                let obs = observe_nodes(&*proto, 0, &nodes, round);
+                digests.push(proto.digest_obs(&obs, round));
+                proto.finalize_obs(&obs, round)
+            } else {
+                digests.push(proto.digest(&nodes, round));
+                proto.finalize(&nodes, round)
+            };
+            if let Verdict::Halt(output) = verdict {
                 return RunReport {
                     rounds: round + 1,
                     completed: true,
                     output: Some(output),
                     digests,
                     stats,
+                    node_bytes: tally_node_bytes(proto, &nodes),
                 };
             }
         }
@@ -116,6 +130,7 @@ impl Executor for SequentialExecutor {
             output: None,
             digests,
             stats,
+            node_bytes: tally_node_bytes(proto, &nodes),
         }
     }
 }

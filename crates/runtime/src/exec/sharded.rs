@@ -13,6 +13,14 @@
 //! ([`NetStats::absorb`]). No per-envelope work happens on the
 //! coordinating thread.
 //!
+//! For **streaming** protocols ([`RoundProtocol::streams`]) the round
+//! verdict is streamed too: each worker folds its own nodes into a
+//! [`RoundObs`] partial during the round-end pass, and the coordinator
+//! merges the partials in shard order — so between-round coordinator
+//! work is O(shards), independent of `n`. Only legacy (non-streaming)
+//! protocols still trigger the coordinator's whole-slice
+//! `digest`/`finalize` scan.
+//!
 //! # Determinism
 //!
 //! Traces are bit-identical to
@@ -58,9 +66,10 @@
 //!
 //! Workers access their chunk of the per-node state (`nodes`, `rngs`,
 //! `seqs`, `live`) and the shared protocol object through raw pointers
-//! ([`ShardHandle`]), because the coordinator must also view all node
-//! state between rounds (`digest`/`finalize` take `&[Node]`) — a shape
-//! the borrow checker cannot express across persistent threads. The
+//! ([`ShardHandle`]), because the coordinator must also be able to view
+//! all node state between rounds (legacy `digest`/`finalize` take
+//! `&[Node]`; the end-of-run `node_mem_bytes` tally always does) — a
+//! shape the borrow checker cannot express across persistent threads. The
 //! aliasing discipline is temporal and enforced by the round protocol:
 //!
 //! * a worker materializes `&mut` slices **only** between receiving a
@@ -74,8 +83,9 @@
 //! original allocation, and the owning vectors outlive the worker scope.
 
 use super::pool::{PoolScope, WorkerPool};
-use super::{validate_run, Executor};
-use crate::proto::{Envelope, Outbox, RoundProtocol, Verdict};
+use super::{tally_node_bytes, validate_run, Executor};
+use crate::arena::NodeArena;
+use crate::proto::{observe_nodes, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
@@ -161,6 +171,10 @@ struct Task<M> {
 struct RoundOut<M> {
     routed: Routed<M>,
     tally: NetStats,
+    /// The shard's fold of its own nodes (streaming protocols only);
+    /// the coordinator merges these in shard order instead of scanning
+    /// the whole node slice.
+    obs: Option<RoundObs>,
 }
 
 /// Raw, `Send`-able handle to one shard's disjoint chunk of the run
@@ -185,21 +199,25 @@ struct ShardHandle<P: RoundProtocol> {
 unsafe impl<P: RoundProtocol> Send for ShardHandle<P> {}
 
 /// Worker-persistent scratch: emission buffer, counting-sort counters
-/// and output, and the free pool of recycled envelope buffers.
+/// and output, the free pool of recycled envelope buffers, and the
+/// shard's node arena (constructed on the worker thread, so its backing
+/// pages are first-touched by the thread that uses them).
 struct Scratch<M> {
     fresh: Vec<Envelope<M>>,
     sorted: Vec<Envelope<M>>,
     counts: Vec<u32>,
     pool: Vec<Vec<Envelope<M>>>,
+    arena: NodeArena,
 }
 
 impl<M> Scratch<M> {
-    fn new() -> Self {
+    fn new(base: usize, len: usize) -> Self {
         Self {
             fresh: Vec::new(),
             sorted: Vec::new(),
             counts: Vec::new(),
             pool: Vec::new(),
+            arena: NodeArena::new(base, len),
         }
     }
 }
@@ -302,8 +320,10 @@ fn run_shard_round<P: RoundProtocol>(
         sorted,
         counts,
         pool,
+        arena,
     } = scratch;
     fresh.clear();
+    arena.begin_round();
 
     // Phase 1: round-start hooks, id order.
     for (off, node) in nodes.iter_mut().enumerate() {
@@ -311,7 +331,7 @@ fn run_shard_round<P: RoundProtocol>(
             continue;
         }
         let id = NodeId::from_index(h.base + off);
-        let mut out = Outbox::new(id, n, &mut seqs[off], fresh);
+        let mut out = Outbox::new(id, n, &mut seqs[off], fresh, arena);
         proto.on_round_start(node, id, round, &mut rngs[off], &mut out);
     }
 
@@ -337,7 +357,7 @@ fn run_shard_round<P: RoundProtocol>(
             continue;
         }
         tally.delivered += 1;
-        let mut out = Outbox::new(env.dst, n, &mut seqs[off], fresh);
+        let mut out = Outbox::new(env.dst, n, &mut seqs[off], fresh, arena);
         proto.on_message(
             &mut nodes[off],
             env.dst,
@@ -355,9 +375,17 @@ fn run_shard_round<P: RoundProtocol>(
             continue;
         }
         let id = NodeId::from_index(h.base + off);
-        let mut out = Outbox::new(id, n, &mut seqs[off], fresh);
+        let mut out = Outbox::new(id, n, &mut seqs[off], fresh, arena);
         proto.on_round_end(node, id, round, &mut rngs[off], &mut out);
     }
+
+    // Streaming observation: fold this shard's nodes into one RoundObs
+    // partial, still on the worker thread. The coordinator merges the
+    // partials in shard order — O(shards) between-round work — instead
+    // of scanning all n nodes.
+    let obs = proto
+        .streams()
+        .then(|| observe_nodes(proto, h.base, nodes, round));
 
     // Routing: order this shard's emissions by (src, seq) — a stable
     // counting pass by source offset; per-source emission is already
@@ -394,7 +422,7 @@ fn run_shard_round<P: RoundProtocol>(
         }
     }
 
-    RoundOut { routed, tally }
+    RoundOut { routed, tally, obs }
 }
 
 /// A worker thread's lifetime: serve round tasks until the coordinator
@@ -410,7 +438,7 @@ fn worker_loop<P: RoundProtocol>(
     tasks: Receiver<Task<P::Msg>>,
     results: Sender<RoundOut<P::Msg>>,
 ) {
-    let mut scratch = Scratch::new();
+    let mut scratch = Scratch::new(h.base, h.len);
     while let Ok(task) = tasks.recv() {
         let out = run_shard_round(&h, cfg, n, chunk, shards, slots, task, &mut scratch);
         if results.send(out).is_err() {
@@ -641,9 +669,19 @@ where
         // (slot, dest) is appended after shards 0..s's, so each
         // lane's concatenation equals the sequential emission
         // order (module docs, invariant 3).
+        let mut merged: Option<RoundObs> = None;
         for (s, rx) in result_rxs.iter().enumerate() {
             let mut out = rx.recv().expect("shard worker panicked");
             stats.absorb(&out.tally);
+            // Shard-order merge of the streaming partials: RoundObs
+            // merge is commutative-associative, so this equals the
+            // sequential executor's single whole-slice fold.
+            if let Some(obs) = out.obs.take() {
+                match &mut merged {
+                    None => merged = Some(obs),
+                    Some(m) => m.merge(&obs),
+                }
+            }
             for (slot, lanes) in out.routed.iter_mut().enumerate() {
                 while buckets.len() <= slot {
                     buckets.push_back(row_pool.pop().unwrap_or_else(|| Row::empty(shards)));
@@ -668,26 +706,46 @@ where
         // SAFETY: every worker has delivered its result and is
         // parked on `recv`; the channel handshakes order those
         // accesses before these views (module safety model).
-        let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
         let proto_mut: &mut P = unsafe { &mut *proto_ptr };
-        digests.push(proto_mut.digest(nodes_view, round));
-        if let Verdict::Halt(output) = proto_mut.finalize(nodes_view, round) {
+        let verdict = match &merged {
+            // Streaming path: the verdict comes from the merged
+            // per-shard partials — the coordinator never touches the
+            // node slice, so between-round work is O(shards), not O(n).
+            Some(obs) => {
+                digests.push(proto_mut.digest_obs(obs, round));
+                proto_mut.finalize_obs(obs, round)
+            }
+            // Legacy path: whole-slice scan on the coordinator.
+            None => {
+                let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
+                digests.push(proto_mut.digest(nodes_view, round));
+                proto_mut.finalize(nodes_view, round)
+            }
+        };
+        if let Verdict::Halt(output) = verdict {
+            // SAFETY: same parked-worker window as above.
+            let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
             return RunReport {
                 rounds: round + 1,
                 completed: true,
                 output: Some(output),
                 digests,
                 stats,
+                node_bytes: tally_node_bytes(unsafe { &*proto_ptr }, nodes_view),
             };
         }
     }
 
+    // SAFETY: the round loop has fully drained; every worker is parked
+    // on `recv` (same window as the between-round views above).
+    let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
     RunReport {
         rounds: cfg.max_rounds,
         completed: false,
         output: None,
         digests,
         stats,
+        node_bytes: tally_node_bytes(unsafe { &*proto_ptr }, nodes_view),
     }
     // Returning drops the task senders; workers see the hangup, drain
     // out, and are joined by the enclosing scope/pool construct before

@@ -48,11 +48,18 @@
 //! 4. **Scheduling-free churn.** Node liveness under [`Churn`] is a bit
 //!    hashed from `(seed, node, round)`, checked at dispatch and at
 //!    delivery, so failures commute with execution strategy too.
+//! 5. **Associative observation.** Protocols on the streaming path
+//!    (`RoundProtocol::streams()`) fold per-node observables into a
+//!    [`RoundObs`] whose merge is commutative and associative, so the
+//!    sharded executor's shard-order merge of per-worker partials equals
+//!    the sequential whole-slice fold bit-for-bit — between-round
+//!    coordinator work is O(shards), independent of `n`.
 //!
 //! Consequently `SequentialExecutor` and `ShardedExecutor::new(k)` return
 //! identical [`RunReport`]s (rounds, output, digest trace, statistics)
 //! for every `k` — the property the `exp_runtime_scaling` experiment
-//! checks at `n = 10⁵` while measuring the parallel speedup.
+//! checks at `n = 10⁵` (and up to `n = 10⁷` with `--n-series`) while
+//! measuring the parallel speedup.
 //!
 //! ## Quickstart: the `Scenario` builder
 //!
@@ -77,6 +84,7 @@
 //! [`RoundProtocol`] and hand it to any [`Executor`] directly.
 
 pub mod adapters;
+pub mod arena;
 pub mod churn;
 pub mod conditions;
 pub mod exec;
@@ -89,12 +97,15 @@ pub use adapters::{
     DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull, RtPull, RtPush, RtPushPull,
     RuntimeDating, SpreadRunSummary,
 };
+pub use arena::NodeArena;
 pub use churn::{Churn, ChurnModel};
 pub use conditions::{Conditions, LatencyDist};
 pub use exec::{
     ConditionedExecutor, Executor, PoolScope, SequentialExecutor, ShardedExecutor, WorkerPool,
 };
-pub use proto::{Envelope, Outbox, RoundProtocol, Verdict};
+pub use proto::{observe_nodes, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
 pub use registry::Spreader;
 pub use report::{NetStats, RunConfig, RunReport};
-pub use scenario::{Scenario, ScenarioError, ScenarioReport, WorkloadOutput};
+pub use scenario::{
+    Scenario, ScenarioError, ScenarioReport, WorkloadOutput, AUTO_SEQUENTIAL_BELOW,
+};

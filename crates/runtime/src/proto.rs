@@ -16,6 +16,7 @@
 //! threads without changing observable behaviour — the determinism
 //! contract in the [crate docs](crate) makes this precise.
 
+use crate::arena::NodeArena;
 use rand::rngs::SmallRng;
 use rendez_sim::NodeId;
 
@@ -48,17 +49,35 @@ pub struct Outbox<'a, M> {
     n: usize,
     seq: &'a mut u64,
     env: &'a mut Vec<Envelope<M>>,
+    arena: &'a mut NodeArena,
+}
+
+/// Out-of-line panic for [`Outbox::send`]'s bounds check, so the hot
+/// send path is a compare-and-branch to a cold stub instead of inlining
+/// panic formatting into every protocol callback.
+#[cold]
+#[inline(never)]
+fn bad_destination(dst: NodeId, n: usize) -> ! {
+    panic!("send to out-of-range node {dst} (n = {n})");
 }
 
 impl<'a, M> Outbox<'a, M> {
-    /// Bind an outbox to sender `src` with its persistent send counter.
+    /// Bind an outbox to sender `src` with its persistent send counter
+    /// and the shard's arena.
     pub(crate) fn new(
         src: NodeId,
         n: usize,
         seq: &'a mut u64,
         env: &'a mut Vec<Envelope<M>>,
+        arena: &'a mut NodeArena,
     ) -> Self {
-        Self { src, n, seq, env }
+        Self {
+            src,
+            n,
+            seq,
+            env,
+            arena,
+        }
     }
 
     /// The node this outbox belongs to.
@@ -76,7 +95,9 @@ impl<'a, M> Outbox<'a, M> {
     /// # Panics
     /// Panics if `dst` is out of range.
     pub fn send(&mut self, dst: NodeId, msg: M) {
-        assert!(dst.index() < self.n, "send to out-of-range node {dst}");
+        if dst.index() >= self.n {
+            bad_destination(dst, self.n);
+        }
         self.env.push(Envelope {
             src: self.src,
             dst,
@@ -85,6 +106,122 @@ impl<'a, M> Outbox<'a, M> {
         });
         *self.seq += 1;
     }
+
+    /// Stash `v` into this node's `lane` inbox (arena-backed; see
+    /// [`NodeArena`]). Entries live until the end of the current round.
+    pub fn stash(&mut self, lane: usize, v: NodeId) {
+        self.arena.push(self.src, lane, v);
+    }
+
+    /// Number of entries stashed in `lane` this round.
+    pub fn stash_len(&self, lane: usize) -> usize {
+        self.arena.len_of(self.src, lane)
+    }
+
+    /// The `j`-th stashed entry in `lane` (arrival order, possibly
+    /// permuted by [`shuffle_stash`](Self::shuffle_stash)).
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn stash_at(&self, lane: usize, j: usize) -> NodeId {
+        self.arena.get(self.src, lane, j)
+    }
+
+    /// Partial Fisher–Yates over this node's `lane` stash: afterwards
+    /// the first `q` entries are a uniform random `q`-subset in uniform
+    /// random order, consuming the RNG exactly like
+    /// [`partial_shuffle`](rendez_core::matching::partial_shuffle) on an
+    /// equivalent `Vec`.
+    ///
+    /// # Panics
+    /// Panics if `q` exceeds the stash length.
+    pub fn shuffle_stash(&mut self, lane: usize, q: usize, rng: &mut SmallRng) {
+        self.arena.shuffle(self.src, lane, q, rng);
+    }
+}
+
+/// An associative per-round observation partial — the streaming
+/// replacement for whole-slice [`finalize`](RoundProtocol::finalize) /
+/// [`digest`](RoundProtocol::digest) scans.
+///
+/// Each executor shard folds its own nodes into a `RoundObs` via
+/// [`observe_node`](RoundProtocol::observe_node) during the round-end
+/// pass (in parallel, on the worker threads), and the coordinator merges
+/// the per-shard partials in shard order — so between-round coordinator
+/// work is O(shards), not O(n).
+///
+/// # Merge-determinism rule
+///
+/// The digest trace and the halt verdict must be **bit-identical for
+/// every executor and every shard count**. Shard boundaries are
+/// arbitrary, so everything a protocol folds into a `RoundObs` must be
+/// invariant under regrouping and reordering of nodes — i.e. each field
+/// is combined with a commutative, associative operation:
+///
+/// * [`count`](Self::count) and the [`lanes`](Self::lanes) merge by
+///   wrapping addition;
+/// * [`digest`](Self::digest) merges by XOR — so fold *per-node hashes*
+///   (e.g. `SplitMix64::mix` of node-local state salted with the node
+///   id and round) into it, never order-sensitive chained hashes.
+///
+/// Anything order-sensitive (a chained hash, a max-by-first-index) would
+/// make the result depend on the shard layout and break the
+/// cross-executor equivalence contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundObs {
+    /// Primary counter (by convention: nodes satisfying the protocol's
+    /// headline predicate, e.g. "informed"). Merges by wrapping add.
+    pub count: u64,
+    /// XOR-accumulated digest of per-node state hashes. Merges by XOR.
+    pub digest: u64,
+    /// Extra wrapping-add counters, keyed by protocol-defined lane
+    /// indices (see [`lane_add`](Self::lane_add)). Missing lanes read
+    /// as 0, so partials with different lane counts merge cleanly.
+    pub lanes: Vec<u64>,
+}
+
+impl RoundObs {
+    /// Add `v` into lane `lane`, growing the lane vector on demand.
+    pub fn lane_add(&mut self, lane: usize, v: u64) {
+        if self.lanes.len() <= lane {
+            self.lanes.resize(lane + 1, 0);
+        }
+        self.lanes[lane] = self.lanes[lane].wrapping_add(v);
+    }
+
+    /// Read lane `lane` (0 if never written).
+    pub fn lane(&self, lane: usize) -> u64 {
+        self.lanes.get(lane).copied().unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`. Commutative and associative, so any
+    /// grouping of per-shard partials yields the same total.
+    pub fn merge(&mut self, other: &RoundObs) {
+        self.count = self.count.wrapping_add(other.count);
+        self.digest ^= other.digest;
+        for (lane, &v) in other.lanes.iter().enumerate() {
+            self.lane_add(lane, v);
+        }
+    }
+}
+
+/// Fold `nodes` (ids `base..base + nodes.len()`) into one [`RoundObs`]
+/// via [`RoundProtocol::observe_node`].
+///
+/// This is both the per-shard worker-side pass and the sequential
+/// executor's whole-slice pass — by the merge-determinism rule the two
+/// compose to identical totals.
+pub fn observe_nodes<P: RoundProtocol + ?Sized>(
+    proto: &P,
+    base: usize,
+    nodes: &[P::Node],
+    round: u64,
+) -> RoundObs {
+    let mut obs = RoundObs::default();
+    for (off, node) in nodes.iter().enumerate() {
+        proto.observe_node(node, NodeId::from_index(base + off), round, &mut obs);
+    }
+    obs
 }
 
 /// What [`RoundProtocol::finalize`] decided after a round.
@@ -106,11 +243,20 @@ pub enum Verdict<R> {
 ///    in `(dst, src, seq)` order — absorb messages, possibly reply;
 /// 3. [`on_round_end`](Self::on_round_end) for every node, in id order —
 ///    local end-of-round processing (e.g. matchmaking), possibly sending;
-/// 4. [`finalize`](Self::finalize) once, with a view of **all** node
-///    states — decide continue / halt and record observables.
+/// 4. observation — either the **streaming path** (when
+///    [`streams`](Self::streams) is `true`): each shard folds its nodes
+///    into a [`RoundObs`] via [`observe_node`](Self::observe_node), the
+///    merged partial feeds [`digest_obs`](Self::digest_obs) and
+///    [`finalize_obs`](Self::finalize_obs) on the coordinator — or the
+///    **slice fallback**: [`digest`](Self::digest) and
+///    [`finalize`](Self::finalize) once, with a view of **all** node
+///    states.
 ///
-/// Steps 1–3 see exactly one node's state and RNG stream and may run on
-/// any thread; step 4 runs on the coordinating thread between rounds.
+/// Steps 1–3 (and the streaming observation fold) see node state shard-
+/// locally and may run on any thread; the verdict itself is computed on
+/// the coordinating thread between rounds. On the streaming path the
+/// coordinator's between-round work is O(shards); on the fallback it is
+/// an O(n) scan.
 pub trait RoundProtocol: Sync {
     /// Per-node state.
     type Node: Send;
@@ -179,17 +325,65 @@ pub trait RoundProtocol: Sync {
     fn msg_bytes(&self, _msg: &Self::Msg) -> usize {
         1
     }
+
+    /// Opt into the streaming observation path. When `true`, executors
+    /// never call [`finalize`](Self::finalize) / [`digest`](Self::digest)
+    /// with a whole-node slice; they drive
+    /// [`observe_node`](Self::observe_node) shard-locally and hand the
+    /// merged [`RoundObs`] to [`digest_obs`](Self::digest_obs) and
+    /// [`finalize_obs`](Self::finalize_obs) instead.
+    fn streams(&self) -> bool {
+        false
+    }
+
+    /// Fold one node into a [`RoundObs`] partial. Runs on the shard
+    /// worker that owns `node`, after its round-end hook; must respect
+    /// the [`RoundObs`] merge-determinism rule.
+    fn observe_node(&self, _node: &Self::Node, _id: NodeId, _round: u64, _obs: &mut RoundObs) {}
+
+    /// Streaming counterpart of [`finalize`](Self::finalize): decide
+    /// continue / halt from the merged round observation. Only called
+    /// when [`streams`](Self::streams) is `true` — implement both or
+    /// neither of `finalize_obs` / `observe_node` meaningfully.
+    fn finalize_obs(&mut self, _obs: &RoundObs, _round: u64) -> Verdict<Self::Output> {
+        Verdict::Continue
+    }
+
+    /// Streaming counterpart of [`digest`](Self::digest): fingerprint
+    /// the merged round observation. The default passes the XOR
+    /// accumulator through; override to mix in a round salt.
+    fn digest_obs(&self, obs: &RoundObs, _round: u64) -> u64 {
+        obs.digest
+    }
+
+    /// Resident bytes attributed to one node's state, for the
+    /// bytes/node scaling metric ([`RunReport::node_bytes`]). The
+    /// default counts the inline struct size only; override when node
+    /// state owns heap allocations.
+    ///
+    /// [`RunReport::node_bytes`]: crate::RunReport::node_bytes
+    fn node_mem_bytes(&self, _node: &Self::Node) -> usize {
+        std::mem::size_of::<Self::Node>()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::{STASH_OFFERS, STASH_REQUESTS};
+
+    fn arena(n: usize) -> NodeArena {
+        let mut a = NodeArena::new(0, n);
+        a.begin_round();
+        a
+    }
 
     #[test]
     fn outbox_stamps_src_and_seq() {
         let mut seq = 5u64;
         let mut env: Vec<Envelope<u8>> = Vec::new();
-        let mut out = Outbox::new(NodeId(2), 4, &mut seq, &mut env);
+        let mut arena = arena(4);
+        let mut out = Outbox::new(NodeId(2), 4, &mut seq, &mut env, &mut arena);
         assert_eq!(out.src(), NodeId(2));
         assert_eq!(out.n(), 4);
         out.send(NodeId(0), 7);
@@ -206,7 +400,66 @@ mod tests {
     fn outbox_rejects_bad_destination() {
         let mut seq = 0u64;
         let mut env: Vec<Envelope<u8>> = Vec::new();
-        let mut out = Outbox::new(NodeId(0), 2, &mut seq, &mut env);
+        let mut arena = arena(2);
+        let mut out = Outbox::new(NodeId(0), 2, &mut seq, &mut env, &mut arena);
         out.send(NodeId(2), 1);
+    }
+
+    #[test]
+    fn outbox_stash_lanes_are_per_sender() {
+        let mut seq = 0u64;
+        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut arena = arena(4);
+        {
+            let mut out = Outbox::new(NodeId(1), 4, &mut seq, &mut env, &mut arena);
+            out.stash(STASH_OFFERS, NodeId(3));
+            out.stash(STASH_OFFERS, NodeId(2));
+            out.stash(STASH_REQUESTS, NodeId(0));
+            assert_eq!(out.stash_len(STASH_OFFERS), 2);
+            assert_eq!(out.stash_len(STASH_REQUESTS), 1);
+            assert_eq!(out.stash_at(STASH_OFFERS, 1), NodeId(2));
+        }
+        let out = Outbox::new(NodeId(0), 4, &mut seq, &mut env, &mut arena);
+        assert_eq!(out.stash_len(STASH_OFFERS), 0, "stash follows the sender");
+    }
+
+    #[test]
+    fn round_obs_merge_is_commutative_and_associative() {
+        let mk = |count: u64, digest: u64, lanes: &[u64]| {
+            let mut o = RoundObs {
+                count,
+                digest,
+                lanes: Vec::new(),
+            };
+            for (i, &v) in lanes.iter().enumerate() {
+                o.lane_add(i, v);
+            }
+            o
+        };
+        let a = mk(1, 0x10, &[5]);
+        let b = mk(2, 0x01, &[7, 9]);
+        let c = mk(4, 0xf0, &[]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associative");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "commutative");
+
+        assert_eq!(ab_c.count, 7);
+        assert_eq!(ab_c.digest, 0xe1);
+        assert_eq!(ab_c.lane(0), 12);
+        assert_eq!(ab_c.lane(1), 9);
+        assert_eq!(ab_c.lane(2), 0, "missing lanes read as zero");
     }
 }

@@ -107,6 +107,12 @@ pub struct RunReport<R> {
     pub digests: Vec<u64>,
     /// Message accounting.
     pub stats: NetStats,
+    /// Total resident bytes of node state at the end of the run, from
+    /// [`RoundProtocol::node_mem_bytes`](crate::RoundProtocol::node_mem_bytes)
+    /// — divide by `n` for the bytes/node scaling metric. Diagnostic
+    /// only: not part of the cross-executor bit-identity contract
+    /// (though it is in practice identical across executors).
+    pub node_bytes: u64,
 }
 
 impl<R> RunReport<R> {
@@ -126,6 +132,7 @@ impl<R> RunReport<R> {
             output: self.output.map(f),
             digests: self.digests,
             stats: self.stats,
+            node_bytes: self.node_bytes,
         }
     }
 }
@@ -180,6 +187,7 @@ mod tests {
             output: None,
             digests: vec![],
             stats: NetStats::default(),
+            node_bytes: 0,
         };
         let _ = r.expect_output();
     }

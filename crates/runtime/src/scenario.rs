@@ -39,6 +39,32 @@ use crate::report::{RunConfig, RunReport};
 use rendez_core::{NodeSelector, Platform, UniformSelector};
 use rendez_sim::NodeId;
 
+/// Below this node count, [`Scenario::auto_executor`] resolves to
+/// sequential execution.
+///
+/// The threshold comes from the recorded perf baseline
+/// (`BENCH_runtime.json`): at `n = 4000` the sharded executor moves
+/// ~5.7M msgs/sec on the push workload against ~12.3M sequential — a
+/// 2.2× *regression*, because per-round shard handshakes dominate when
+/// each shard only holds a few thousand nodes. The crossover sits
+/// between 10⁴ and 10⁵ on the recorded hardware; 32 768 is a
+/// conservative power-of-two cut below which sharding has never been
+/// observed to win.
+pub const AUTO_SEQUENTIAL_BELOW: usize = 32_768;
+
+/// Executor selection for a [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecChoice {
+    /// Run on the calling thread.
+    Sequential,
+    /// Run shard-parallel over `k` threads (`0` = one per core).
+    Sharded(usize),
+    /// Pick by node count: sequential below
+    /// [`AUTO_SEQUENTIAL_BELOW`], sharded (one shard per core) at or
+    /// above it.
+    Auto,
+}
+
 /// What a [`Scenario`] run can reject at validation time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
@@ -188,7 +214,7 @@ pub struct Scenario<S: NodeSelector + Clone = UniformSelector> {
     protocol: Spreader,
     conditions: Conditions,
     churn: Churn,
-    shards: Option<usize>,
+    exec: ExecChoice,
     source: NodeId,
     cycles: u64,
     loss: f64,
@@ -211,7 +237,7 @@ impl Scenario<UniformSelector> {
             protocol: Spreader::DatingService,
             conditions: Conditions::ideal(),
             churn: Churn::none(),
-            shards: None,
+            exec: ExecChoice::Sequential,
             source: NodeId(0),
             cycles: 30,
             loss: 0.2,
@@ -237,7 +263,7 @@ impl<S: NodeSelector + Clone> Scenario<S> {
             protocol: self.protocol,
             conditions: self.conditions,
             churn: self.churn,
-            shards: self.shards,
+            exec: self.exec,
             source: self.source,
             cycles: self.cycles,
             loss: self.loss,
@@ -278,13 +304,27 @@ impl<S: NodeSelector + Clone> Scenario<S> {
     /// shard per core). The report is bit-identical to sequential
     /// execution for every `k` — that is the runtime's contract.
     pub fn sharded(mut self, k: usize) -> Self {
-        self.shards = Some(k);
+        self.exec = ExecChoice::Sharded(k);
         self
     }
 
     /// Execute rounds on the calling thread (the default).
     pub fn sequential(mut self) -> Self {
-        self.shards = None;
+        self.exec = ExecChoice::Sequential;
+        self
+    }
+
+    /// Pick the executor from the node count: sequential below
+    /// [`AUTO_SEQUENTIAL_BELOW`] nodes, sharded with one shard per core
+    /// at or above it. Small scenarios thereby avoid the sharded
+    /// executor's per-round coordination overhead (a measured 2.2×
+    /// throughput regression at `n = 4000`), while large ones get all
+    /// cores. Explicit [`sharded`](Self::sharded) /
+    /// [`sequential`](Self::sequential) calls always win over the
+    /// heuristic; the chosen executor never changes the report, only
+    /// wall-clock time.
+    pub fn auto_executor(mut self) -> Self {
+        self.exec = ExecChoice::Auto;
         self
     }
 
@@ -326,11 +366,23 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         self.protocol
     }
 
-    /// Human-readable executor name, for experiment tables.
+    /// Human-readable executor name, for experiment tables. Auto mode
+    /// reports the executor it resolves to for this scenario's `n`.
     pub fn executor_name(&self) -> String {
-        match self.shards {
+        match self.resolve_shards() {
             None => SequentialExecutor.name(),
             Some(k) => ShardedExecutor::new(k).name(),
+        }
+    }
+
+    /// Resolve the configured [`ExecChoice`] to a concrete executor:
+    /// `None` = sequential, `Some(k)` = sharded over `k` threads.
+    fn resolve_shards(&self) -> Option<usize> {
+        match self.exec {
+            ExecChoice::Sequential => None,
+            ExecChoice::Sharded(k) => Some(k),
+            ExecChoice::Auto if self.n < AUTO_SEQUENTIAL_BELOW => None,
+            ExecChoice::Auto => Some(0),
         }
     }
 
@@ -483,7 +535,7 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         cfg: &RunConfig,
         pool: Option<&WorkerPool>,
     ) -> RunReport<P::Output> {
-        match (self.shards, pool) {
+        match (self.resolve_shards(), pool) {
             (None, _) => SequentialExecutor.run(proto, self.n, cfg),
             (Some(k), None) => ShardedExecutor::new(k).run(proto, self.n, cfg),
             (Some(k), Some(pool)) => ShardedExecutor::new(k).run_in(pool, proto, self.n, cfg),
@@ -682,5 +734,48 @@ mod tests {
     fn executor_names_surface() {
         assert_eq!(Scenario::new(4).executor_name(), "sequential");
         assert_eq!(Scenario::new(4).sharded(3).executor_name(), "sharded(3)");
+    }
+
+    #[test]
+    fn auto_executor_picks_by_node_count() {
+        // Below the cut: the sharded executor's per-round handshakes
+        // lose to sequential (2.2× at n=4000 in BENCH_runtime.json),
+        // so auto must resolve small scenarios to sequential.
+        assert_eq!(
+            Scenario::new(4_000).auto_executor().executor_name(),
+            "sequential"
+        );
+        assert_eq!(
+            Scenario::new(AUTO_SEQUENTIAL_BELOW - 1)
+                .auto_executor()
+                .executor_name(),
+            "sequential"
+        );
+        // At or above the cut: one shard per core.
+        assert!(Scenario::new(AUTO_SEQUENTIAL_BELOW)
+            .auto_executor()
+            .executor_name()
+            .starts_with("sharded("));
+        // Explicit choices always beat the heuristic.
+        assert_eq!(
+            Scenario::new(1_000_000)
+                .auto_executor()
+                .sequential()
+                .executor_name(),
+            "sequential"
+        );
+        assert_eq!(
+            Scenario::new(100)
+                .auto_executor()
+                .sharded(2)
+                .executor_name(),
+            "sharded(2)"
+        );
+        // The heuristic changes wall-clock, never the report.
+        let base = Scenario::new(200).protocol(Spreader::PushPull);
+        assert_eq!(
+            base.clone().run(9).expect("valid").digests,
+            base.clone().auto_executor().run(9).expect("valid").digests
+        );
     }
 }

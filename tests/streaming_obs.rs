@@ -1,0 +1,227 @@
+//! Streaming-observation equivalence: the per-shard [`RoundObs`]
+//! reduction must be indistinguishable from the legacy whole-slice
+//! `finalize`/`digest` path for every registry workload.
+//!
+//! The harness wraps each workload in [`SlicePath`], a delegating
+//! adapter that leaves `streams()` at its `false` default so executors
+//! take the legacy coordinator scan, and compares the wrapped run
+//! against the native streaming run — digest trace, round count,
+//! message statistics and final output — on the sequential executor and
+//! on the sharded executor at 1, 2 and 8 shards, under ideal, lossy,
+//! latency-spread and churned conditions alike. A property sweep then
+//! drives random `(seed, n, conditions, churn)` combinations through
+//! all eight workloads.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rendezvous::prelude::*;
+use rendezvous::runtime::{
+    Conditions, LatencyDist, Outbox, RoundProtocol, RtDatingSpread, RtFairPull, RtFairPushPull,
+    RtPull, RtPush, RtPushPull, Verdict,
+};
+
+/// Force the legacy slice path: delegate every [`RoundProtocol`] hook
+/// to the inner protocol except the streaming quartet, which stays at
+/// the trait defaults (`streams() == false`).
+struct SlicePath<P>(P);
+
+impl<P: RoundProtocol> RoundProtocol for SlicePath<P> {
+    type Node = P::Node;
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn init_node(&self, id: NodeId, rng: &mut SmallRng) -> Self::Node {
+        self.0.init_node(id, rng)
+    }
+
+    fn on_round_start(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    ) {
+        self.0.on_round_start(node, id, round, rng, out);
+    }
+
+    fn on_message(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    ) {
+        self.0.on_message(node, id, from, msg, round, rng, out);
+    }
+
+    fn on_round_end(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    ) {
+        self.0.on_round_end(node, id, round, rng, out);
+    }
+
+    fn finalize(&mut self, nodes: &[Self::Node], round: u64) -> Verdict<Self::Output> {
+        self.0.finalize(nodes, round)
+    }
+
+    fn digest(&self, nodes: &[Self::Node], round: u64) -> u64 {
+        self.0.digest(nodes, round)
+    }
+
+    fn msg_bytes(&self, msg: &Self::Msg) -> usize {
+        self.0.msg_bytes(msg)
+    }
+
+    fn node_mem_bytes(&self, node: &Self::Node) -> usize {
+        self.0.node_mem_bytes(node)
+    }
+}
+
+const SHARDS: [usize; 3] = [1, 2, 8];
+
+/// Run `make()`'s protocol natively (streaming) and through
+/// [`SlicePath`] (legacy), on every executor, and demand bit-identical
+/// reports across the whole matrix.
+fn assert_streaming_matches_slice<P, F>(label: &str, make: F, n: usize, cfg: &RunConfig)
+where
+    P: RoundProtocol,
+    P::Output: PartialEq + std::fmt::Debug + Clone,
+    F: Fn() -> P,
+{
+    assert!(
+        make().streams(),
+        "{label}: registry workloads must opt into streaming"
+    );
+    let mut native = make();
+    let reference = SequentialExecutor.run(&mut native, n, cfg);
+
+    let mut wrapped = SlicePath(make());
+    let slice = SequentialExecutor.run(&mut wrapped, n, cfg);
+    assert_eq!(
+        reference.digests, slice.digests,
+        "{label}: seq digest trace"
+    );
+    assert_eq!(reference.rounds, slice.rounds, "{label}: seq rounds");
+    assert_eq!(reference.stats, slice.stats, "{label}: seq stats");
+    assert_eq!(reference.output, slice.output, "{label}: seq output");
+    assert_eq!(reference.node_bytes, slice.node_bytes, "{label}: seq bytes");
+
+    for shards in SHARDS {
+        let mut native = make();
+        let sh = ShardedExecutor::new(shards).run(&mut native, n, cfg);
+        assert_eq!(
+            reference.digests, sh.digests,
+            "{label}: sharded({shards}) streaming digest trace"
+        );
+        assert_eq!(
+            reference.stats, sh.stats,
+            "{label}: sharded({shards}) stats"
+        );
+        assert_eq!(
+            reference.output, sh.output,
+            "{label}: sharded({shards}) output"
+        );
+
+        let mut wrapped = SlicePath(make());
+        let shw = ShardedExecutor::new(shards).run(&mut wrapped, n, cfg);
+        assert_eq!(
+            reference.digests, shw.digests,
+            "{label}: sharded({shards}) slice digest trace"
+        );
+        assert_eq!(
+            reference.output, shw.output,
+            "{label}: sharded({shards}) slice output"
+        );
+    }
+}
+
+/// All eight registry workloads through the full matrix.
+fn check_all_workloads(n: usize, cycles: u64, cfg: &RunConfig) {
+    assert_streaming_matches_slice(
+        "dating",
+        || RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), cycles),
+        n,
+        cfg,
+    );
+    assert_streaming_matches_slice("push", || RtPush::new(n, NodeId(0)), n, cfg);
+    assert_streaming_matches_slice("pull", || RtPull::new(n, NodeId(1)), n, cfg);
+    assert_streaming_matches_slice("push-pull", || RtPushPull::new(n, NodeId(0)), n, cfg);
+    assert_streaming_matches_slice("fair-pull", || RtFairPull::new(n, NodeId(2)), n, cfg);
+    assert_streaming_matches_slice(
+        "fair-push-pull",
+        || RtFairPushPull::new(n, NodeId(0)),
+        n,
+        cfg,
+    );
+    assert_streaming_matches_slice(
+        "dating-spread",
+        || RtDatingSpread::new(Platform::unit(n), UniformSelector::new(n), NodeId(0)),
+        n,
+        cfg,
+    );
+    assert_streaming_matches_slice(
+        "lossy-dating",
+        || RtDatingSpread::with_loss(Platform::unit(n), UniformSelector::new(n), NodeId(0), 0.15),
+        n,
+        cfg,
+    );
+}
+
+#[test]
+fn streaming_equals_slice_under_ideal_conditions() {
+    let cfg = RunConfig::seeded(0x0B5).max_rounds(400);
+    check_all_workloads(120, 4, &cfg);
+}
+
+#[test]
+fn streaming_equals_slice_under_loss_and_churn() {
+    let cfg = RunConfig::seeded(0x0B6)
+        .max_rounds(300)
+        .conditions(Conditions::with_loss(0.1))
+        .churn(Churn::intermittent(0.05));
+    check_all_workloads(90, 3, &cfg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random `(seed, n, loss, latency, churn)` combinations: the
+    /// streaming reduction and the slice scan must stay bit-identical
+    /// for every workload and shard count.
+    #[test]
+    fn streaming_equals_slice_everywhere(
+        seed in any::<u64>(),
+        n in 40usize..140,
+        lossy in any::<bool>(),
+        spread_latency in any::<bool>(),
+        churned in any::<bool>(),
+    ) {
+        let conditions = Conditions {
+            drop_prob: if lossy { 0.1 } else { 0.0 },
+            latency: if spread_latency {
+                LatencyDist::Uniform { min: 1, max: 3 }
+            } else {
+                LatencyDist::Fixed(1)
+            },
+        };
+        let churn = if churned {
+            Churn::intermittent(0.05)
+        } else {
+            Churn::none()
+        };
+        let cfg = RunConfig::seeded(seed)
+            .max_rounds(250)
+            .conditions(conditions)
+            .churn(churn);
+        check_all_workloads(n, 3, &cfg);
+    }
+}
