@@ -1,7 +1,7 @@
 //! Machine-readable benchmark records (`BENCH_runtime.json`).
 //!
 //! The perf trajectory of the runtime hot path is tracked as a small,
-//! dependency-free JSON file with three series:
+//! dependency-free JSON file with four series:
 //!
 //! * `records` — one [`BenchRecord`] per `{workload, n, shards}` cell
 //!   (wall-clock, ns/round, msgs/sec), emitted by
@@ -12,7 +12,11 @@
 //! * `scaling` — one [`ScalingRecord`] per `{workload, n, shards}`
 //!   point of the millions-of-nodes series (ns/round, msgs/sec **and**
 //!   resident bytes/node), emitted by
-//!   `exp_runtime_scaling --n-series --bench-out PATH`.
+//!   `exp_runtime_scaling --n-series --bench-out PATH`;
+//! * `async_events` — one [`AsyncEventsRecord`] per `{workload, n,
+//!   lanes}` cell of the event-driven continuous-time executor
+//!   (events/sec, ns/event), emitted by
+//!   `exp_runtime_scaling --time-model continuous --bench-out PATH`.
 //!
 //! Each emitter rewrites only its own series: [`load_bench_json`]
 //! reads the other series back (via `rendez_fleet`'s JSON reader) so
@@ -192,6 +196,55 @@ impl ScalingRecord {
     }
 }
 
+/// One benchmarked `{workload, n, lanes}` cell of the event-driven
+/// continuous-time executor ([`rendez_runtime::EventExecutor`]), the
+/// `async_events` series of `BENCH_runtime.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncEventsRecord {
+    /// Registry workload name (e.g. `push-pull`).
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Wake-queue lane count the run was partitioned into.
+    pub lanes: usize,
+    /// Events the run processed.
+    pub events: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl AsyncEventsRecord {
+    /// Nanoseconds per processed event.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.wall_s * 1e9 / self.events as f64
+    }
+
+    /// Events processed per wall-clock second — the event-loop
+    /// headline throughput number.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":{},\"n\":{},\"lanes\":{},\"events\":{},             \"wall_s\":{:.6},\"ns_per_event\":{:.1},\"events_per_sec\":{:.1}}}",
+            json_string(&self.workload),
+            self.n,
+            self.lanes,
+            self.events,
+            self.wall_s,
+            self.ns_per_event(),
+            self.events_per_sec()
+        )
+    }
+}
+
 /// Escape a string for JSON embedding.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -225,13 +278,14 @@ fn push_series<T>(out: &mut String, key: &str, items: &[T], to_json: impl Fn(&T)
     out.push_str("  ]");
 }
 
-/// Render the full benchmark document (all three series).
+/// Render the full benchmark document (all four series).
 pub fn render_bench_json(
     cores: usize,
     seed: u64,
     records: &[BenchRecord],
     sweeps: &[SweepThroughputRecord],
     scaling: &[ScalingRecord],
+    async_events: &[AsyncEventsRecord],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -248,6 +302,13 @@ pub fn render_bench_json(
     );
     out.push_str(",\n");
     push_series(&mut out, "scaling", scaling, ScalingRecord::to_json);
+    out.push_str(",\n");
+    push_series(
+        &mut out,
+        "async_events",
+        async_events,
+        AsyncEventsRecord::to_json,
+    );
     out.push_str("\n}\n");
     out
 }
@@ -260,17 +321,19 @@ pub fn write_bench_json(
     records: &[BenchRecord],
     sweeps: &[SweepThroughputRecord],
     scaling: &[ScalingRecord],
+    async_events: &[AsyncEventsRecord],
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(render_bench_json(cores, seed, records, sweeps, scaling).as_bytes())
+    f.write_all(render_bench_json(cores, seed, records, sweeps, scaling, async_events).as_bytes())
 }
 
-/// All three series of a benchmark document, as read back by
+/// All four series of a benchmark document, as read back by
 /// [`load_bench_json`].
 pub type BenchSeries = (
     Vec<BenchRecord>,
     Vec<SweepThroughputRecord>,
     Vec<ScalingRecord>,
+    Vec<AsyncEventsRecord>,
 );
 
 /// Read every series back from an existing benchmark file, so an
@@ -279,10 +342,10 @@ pub type BenchSeries = (
 /// (emitters then start a fresh document).
 pub fn load_bench_json(path: &Path) -> BenchSeries {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return (Vec::new(), Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     };
     let Ok(doc) = json::parse(&text) else {
-        return (Vec::new(), Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     };
     let records = doc
         .get("records")
@@ -305,7 +368,14 @@ pub fn load_bench_json(path: &Path) -> BenchSeries {
         .iter()
         .filter_map(scaling_record_from)
         .collect();
-    (records, sweeps, scaling)
+    let async_events = doc
+        .get("async_events")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(async_events_record_from)
+        .collect();
+    (records, sweeps, scaling, async_events)
 }
 
 fn field_f64(v: &Json, key: &str) -> Option<f64> {
@@ -344,6 +414,16 @@ fn scaling_record_from(v: &Json) -> Option<ScalingRecord> {
         wall_s: field_f64(v, "wall_s")?,
         msgs_sent: field_f64(v, "msgs_sent")? as u64,
         node_bytes: field_f64(v, "node_bytes")? as u64,
+    })
+}
+
+fn async_events_record_from(v: &Json) -> Option<AsyncEventsRecord> {
+    Some(AsyncEventsRecord {
+        workload: v.get("workload")?.as_str()?.to_string(),
+        n: field_f64(v, "n")? as usize,
+        lanes: field_f64(v, "lanes")? as usize,
+        events: field_f64(v, "events")? as u64,
+        wall_s: field_f64(v, "wall_s")?,
     })
 }
 
@@ -400,6 +480,16 @@ mod tests {
         }
     }
 
+    fn async_record() -> AsyncEventsRecord {
+        AsyncEventsRecord {
+            workload: "push-pull".to_string(),
+            n: 20_000,
+            lanes: 8,
+            events: 500_000,
+            wall_s: 0.25,
+        }
+    }
+
     #[test]
     fn renders_valid_shape() {
         let doc = render_bench_json(
@@ -408,6 +498,7 @@ mod tests {
             &[record()],
             &[sweep_record()],
             &[scaling_record()],
+            &[async_record()],
         );
         assert!(doc.contains("\"schema\": \"rendez-bench/runtime-v1\""));
         assert!(doc.contains("\"seed\": \"0x5ca1e\""));
@@ -417,6 +508,9 @@ mod tests {
         assert!(doc.contains("\"scenarios_per_sec\":1024.0"));
         assert!(doc.contains("\"scaling\""));
         assert!(doc.contains("\"bytes_per_node\":40.0"));
+        assert!(doc.contains("\"async_events\""));
+        assert!(doc.contains("\"events_per_sec\":2000000.0"));
+        assert!(doc.contains("\"ns_per_event\":500.0"));
         // The document parses with the same reader the emitters use to
         // merge, so writer and reader cannot drift apart.
         assert!(json::parse(&doc).is_ok());
@@ -437,6 +531,20 @@ mod tests {
         assert_eq!(degenerate.ns_per_round(), 0.0);
         assert_eq!(degenerate.msgs_per_sec(), 0.0);
         assert_eq!(degenerate.bytes_per_node(), 0.0);
+    }
+
+    #[test]
+    fn async_events_rates() {
+        let r = async_record();
+        assert!((r.ns_per_event() - 500.0).abs() < 1e-9);
+        assert!((r.events_per_sec() - 2_000_000.0).abs() < 1e-9);
+        let degenerate = AsyncEventsRecord {
+            events: 0,
+            wall_s: 0.0,
+            ..async_record()
+        };
+        assert_eq!(degenerate.ns_per_event(), 0.0);
+        assert_eq!(degenerate.events_per_sec(), 0.0);
     }
 
     #[test]
@@ -464,12 +572,14 @@ mod tests {
             &[record()],
             &[sweep_record()],
             &[scaling_record()],
+            &[async_record()],
         )
         .expect("write");
-        let (records, sweeps, scaling) = load_bench_json(&path);
+        let (records, sweeps, scaling, async_events) = load_bench_json(&path);
         assert_eq!(records, vec![record()]);
         assert_eq!(sweeps, vec![sweep_record()]);
         assert_eq!(scaling, vec![scaling_record()]);
+        assert_eq!(async_events, vec![async_record()]);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -478,7 +588,7 @@ mod tests {
         let missing = std::path::Path::new("/nonexistent/rendez_bench.json");
         assert_eq!(
             load_bench_json(missing),
-            (Vec::new(), Vec::new(), Vec::new())
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         );
         // A pre-sweep document (no sweep_throughput or scaling key)
         // still yields its records.
@@ -490,10 +600,11 @@ mod tests {
                 + "]}",
         )
         .expect("write");
-        let (records, sweeps, scaling) = load_bench_json(&path);
+        let (records, sweeps, scaling, async_events) = load_bench_json(&path);
         assert_eq!(records.len(), 1);
         assert!(sweeps.is_empty());
         assert!(scaling.is_empty());
+        assert!(async_events.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -25,17 +25,31 @@
 //!    executors and records ns/round, msgs/sec and resident bytes/node
 //!    into the `scaling` series of the benchmark file. Points whose
 //!    estimated footprint exceeds `MemAvailable` are skipped.
+//! 5. **Async determinism gate** (`--time-model continuous`) — every
+//!    workload with a continuous-time port, run through the
+//!    event-driven [`EventExecutor`] at wake-queue lane counts
+//!    {1, 2, 8}; the event trace must be bit-identical across lane
+//!    counts, and each `{workload, lanes}` cell records events/sec and
+//!    ns/event into the `async_events` series of the benchmark file.
 //!
 //! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
 //!         [--shards 2,4,8] [--gate-n N] [--bench-out PATH]
 //!         [--n-series] [--series-n 100000,1000000]
-//!         [--series-shards 1,2,8] [--csv]`
+//!         [--series-shards 1,2,8]
+//!         [--time-model continuous] [--async-n N] [--csv]`
 //!
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
 
-use rendez_bench::{load_bench_json, write_bench_json, BenchRecord, CliArgs, ScalingRecord, Table};
-use rendez_runtime::{Churn, Scenario, ScenarioReport, Spreader};
+use rendez_bench::{
+    load_bench_json, write_bench_json, AsyncEventsRecord, BenchRecord, CliArgs, ScalingRecord,
+    Table,
+};
+use rendez_runtime::{
+    AsyncSpread, AsyncSpreadSummary, Churn, EventExecutor, RunConfig, RunReport, Scenario,
+    ScenarioReport, Spreader,
+};
+use rendez_sim::NodeId;
 use std::time::Instant;
 
 fn timed_run(scenario: &Scenario, seed: u64) -> (ScenarioReport, f64) {
@@ -279,23 +293,111 @@ fn main() {
         st.print();
     }
 
+    // ---- Async determinism gate: the continuous-time executor at
+    // several wake-queue lane counts must reproduce one event trace.
+    let mut async_records: Vec<AsyncEventsRecord> = Vec::new();
+    let run_async = args.get_str("time-model", "") == "continuous";
+    if run_async {
+        let an = args.get_u64("async-n", 20_000) as usize;
+        let lane_counts = [1usize, 2, 8];
+        println!();
+        println!(
+            "# Async determinism gate — event-driven executor (rate 1.0/s), \
+             n={an}, lanes {{1, 2, 8}} must be bit-identical"
+        );
+        let mut at = Table::new(
+            vec![
+                "workload", "lanes", "events", "sim_s", "wall_s", "ns/event", "Mev/s", "trace",
+            ],
+            args.has("csv"),
+        );
+        let cfg = RunConfig::seeded(seed ^ 0xA57C);
+        for sp in Spreader::ALL
+            .into_iter()
+            .filter(|s| s.supports_continuous())
+        {
+            let mut reference: Option<RunReport<AsyncSpreadSummary>> = None;
+            for &lanes in &lane_counts {
+                let mut proto = AsyncSpread::new(an, NodeId(0), sp);
+                let start = Instant::now();
+                let r = EventExecutor::with_lanes(1.0, lanes).run(&mut proto, an, &cfg);
+                let wall = start.elapsed().as_secs_f64();
+                assert!(r.completed, "{sp} must complete at n={an}");
+                let same = match &reference {
+                    None => true,
+                    Some(first) => {
+                        r.rounds == first.rounds
+                            && r.digests == first.digests
+                            && r.stats == first.stats
+                            && r.output == first.output
+                            && r.time == first.time
+                    }
+                };
+                all_identical &= same;
+                let rec = AsyncEventsRecord {
+                    workload: sp.name().to_string(),
+                    n: an,
+                    lanes,
+                    events: r.rounds,
+                    wall_s: wall,
+                };
+                at.row(vec![
+                    sp.name().to_string(),
+                    lanes.to_string(),
+                    r.rounds.to_string(),
+                    format!("{:.2}", r.time.sim_seconds().unwrap_or(0.0)),
+                    format!("{wall:.3}"),
+                    format!("{:.0}", rec.ns_per_event()),
+                    format!("{:.2}", rec.events_per_sec() / 1e6),
+                    if lanes == 1 {
+                        "reference".to_string()
+                    } else if same {
+                        "identical".to_string()
+                    } else {
+                        "DIVERGED".to_string()
+                    },
+                ]);
+                async_records.push(rec);
+                if reference.is_none() {
+                    reference = Some(r);
+                }
+            }
+        }
+        at.print();
+        println!(
+            "# async determinism: {}",
+            if all_identical {
+                "every lane count reproduced the single-lane event trace bit-for-bit"
+            } else {
+                "FAILURE: event traces diverged across lane counts"
+            }
+        );
+    }
+
     if !bench_out.is_empty() {
         let path = std::path::Path::new(&bench_out);
         // Preserve the sweep_throughput series exp_sweep owns; rewrite
-        // only the records this binary produced. The scaling series is
-        // replaced only when `--n-series` actually ran.
-        let (_, sweeps, old_scaling) = load_bench_json(path);
+        // only the records this binary produced. The scaling and
+        // async_events series are replaced only when their sections
+        // actually ran.
+        let (_, sweeps, old_scaling, old_async) = load_bench_json(path);
         let scaling_out = if args.has("n-series") {
             &scaling_records
         } else {
             &old_scaling
         };
-        write_bench_json(path, cores, seed, &records, &sweeps, scaling_out)
+        let async_out = if run_async {
+            &async_records
+        } else {
+            &old_async
+        };
+        write_bench_json(path, cores, seed, &records, &sweeps, scaling_out, async_out)
             .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
         println!(
-            "# wrote {} benchmark records and {} scaling points to {bench_out}",
+            "# wrote {} benchmark records, {} scaling points and {} async points to {bench_out}",
             records.len(),
-            scaling_out.len()
+            scaling_out.len(),
+            async_out.len()
         );
     }
     assert!(all_identical, "sharded executor diverged from sequential");

@@ -210,9 +210,9 @@ fn main() {
 
     if !bench_out.is_empty() {
         let path = std::path::Path::new(&bench_out);
-        // Preserve the `records` and `scaling` series
+        // Preserve the `records`, `scaling` and `async_events` series
         // exp_runtime_scaling owns; rewrite only the sweep series.
-        let (records, _, scaling) = load_bench_json(path);
+        let (records, _, scaling, async_events) = load_bench_json(path);
         let sweeps: Vec<SweepThroughputRecord> = timings
             .iter()
             .map(|(engine, pool, wall_s)| SweepThroughputRecord {
@@ -224,8 +224,16 @@ fn main() {
                 wall_s: *wall_s,
             })
             .collect();
-        write_bench_json(path, cores, spec.seed, &records, &sweeps, &scaling)
-            .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
+        write_bench_json(
+            path,
+            cores,
+            spec.seed,
+            &records,
+            &sweeps,
+            &scaling,
+            &async_events,
+        )
+        .unwrap_or_else(|e| panic!("cannot write {bench_out}: {e}"));
         println!(
             "# wrote {} sweep_throughput records to {bench_out} ({} records preserved)",
             sweeps.len(),

@@ -19,7 +19,8 @@ pub mod experiments;
 pub mod table;
 
 pub use benchjson::{
-    load_bench_json, write_bench_json, BenchRecord, ScalingRecord, SweepThroughputRecord,
+    load_bench_json, write_bench_json, AsyncEventsRecord, BenchRecord, ScalingRecord,
+    SweepThroughputRecord,
 };
 pub use cli::CliArgs;
 pub use table::Table;

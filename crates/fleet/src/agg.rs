@@ -29,7 +29,8 @@ pub struct TrialPoint {
     /// Whether the protocol halted by itself within the round cap.
     pub completed: bool,
     /// The workload's headline figure: legacy-equivalent spreading
-    /// rounds for rumor workloads, total dates for the dating service.
+    /// rounds for rumor workloads, total dates for the dating service,
+    /// simulated seconds to completion for continuous-time cells.
     /// Meaningless when `completed` is false.
     pub value: f64,
     /// Engine rounds executed.
@@ -46,6 +47,7 @@ impl TrialPoint {
         let value = match &report.output {
             Some(WorkloadOutput::Spread(s)) => s.cycles as f64,
             Some(WorkloadOutput::Dating(d)) => d.total_dates() as f64,
+            Some(WorkloadOutput::AsyncSpread(s)) => s.seconds(),
             None => 0.0,
         };
         Self {

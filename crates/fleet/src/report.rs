@@ -8,6 +8,7 @@
 //! rendered with Rust's shortest-roundtrip formatting and non-finite
 //! values as `null`, keeping the bytes a pure function of the values.
 
+use rendez_runtime::TimeModel;
 use rendez_stats::RunningStats;
 
 use crate::agg::{CellAgg, TRIALS_PER_JOB};
@@ -137,14 +138,24 @@ impl SweepReport {
         out.push_str(&format!("  \"trials_per_job\": {TRIALS_PER_JOB},\n"));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
+            // The time-model coordinate is emitted only for non-default
+            // (continuous) cells, keeping classic rounds-only sweeps
+            // byte-identical to the pre-axis schema.
+            let time_model = match c.cell.time_model {
+                TimeModel::Rounds(_) => String::new(),
+                TimeModel::Continuous { rate } => {
+                    format!("\"time_model\": \"continuous\", \"rate\": {}, ", fnum(rate))
+                }
+            };
             out.push_str("    {");
             out.push_str(&format!(
-                "\"index\": {}, \"n\": {}, \"protocol\": \"{}\", \"churn\": {}, \"loss\": {}, \"trials\": {}, \"completed\": {},\n",
+                "\"index\": {}, \"n\": {}, \"protocol\": \"{}\", \"churn\": {}, \"loss\": {}, {}\"trials\": {}, \"completed\": {},\n",
                 c.cell.index,
                 c.cell.n,
                 c.cell.protocol.name(),
                 fnum(c.cell.churn),
                 fnum(c.cell.loss),
+                time_model,
                 c.trials,
                 c.completed,
             ));
@@ -215,6 +226,43 @@ mod tests {
         assert_eq!(
             cells[0].get("completed").and_then(|v| v.as_f64()),
             Some(8.0)
+        );
+    }
+
+    #[test]
+    fn time_model_key_appears_only_for_continuous_cells() {
+        let spec = SweepSpec::new()
+            .ns(vec![24])
+            .protocols(vec![Spreader::PushPull])
+            .trials(4)
+            .seed(11);
+        let rounds_json = run_serial(&spec).expect("runs").to_json();
+        assert!(
+            !rounds_json.contains("time_model"),
+            "default rounds-only sweeps must keep the pre-axis schema byte-identical"
+        );
+
+        let spec = spec.time_models(vec![
+            rendez_runtime::TimeModel::Rounds(rendez_runtime::ExecChoice::Sequential),
+            rendez_runtime::TimeModel::Continuous { rate: 1.0 },
+        ]);
+        let mixed_json = run_serial(&spec).expect("runs").to_json();
+        assert_eq!(
+            mixed_json.matches("\"time_model\": \"continuous\"").count(),
+            1,
+            "exactly the continuous cell carries the coordinate"
+        );
+        assert!(mixed_json.contains("\"rate\": 1.0"));
+        let parsed = crate::json::parse(&mixed_json).expect("self-parses");
+        let cells = parsed
+            .get("cells")
+            .and_then(|v| v.as_array())
+            .expect("cells array");
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].get("time_model").is_none());
+        assert_eq!(
+            cells[1].get("time_model").and_then(|v| v.as_str()),
+            Some("continuous")
         );
     }
 

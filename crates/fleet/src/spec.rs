@@ -9,7 +9,7 @@
 //! alone, so the whole sweep is reproducible from one `u64` and is
 //! entirely independent of how trials are scheduled onto threads.
 
-use rendez_runtime::{Churn, Conditions, Scenario, ScenarioError, Spreader};
+use rendez_runtime::{Churn, Conditions, ExecChoice, Scenario, ScenarioError, Spreader, TimeModel};
 use rendez_sim::rng::derive_seed;
 
 /// A parameter sweep: the cartesian product of four axes, each cell
@@ -30,6 +30,11 @@ pub struct SweepSpec {
     /// Loss axis: channel drop probability of
     /// [`Conditions::with_loss`]; `0.0` means an ideal channel.
     pub losses: Vec<f64>,
+    /// Time-model axis: synchronous rounds and/or continuous time, so
+    /// one sweep can compare sync vs async cells. Defaults to the
+    /// single point `TimeModel::Rounds(ExecChoice::Sequential)` — the
+    /// classic sweep shape, with byte-identical JSON.
+    pub time_models: Vec<TimeModel>,
     /// Monte-Carlo trials per cell.
     pub trials: u64,
     /// Master seed; every trial's seed derives from it (see
@@ -55,6 +60,7 @@ impl SweepSpec {
             protocols: Vec::new(),
             churns: vec![0.0],
             losses: vec![0.0],
+            time_models: vec![TimeModel::Rounds(ExecChoice::Sequential)],
             trials: 32,
             seed: 0,
             cycles: 30,
@@ -85,6 +91,12 @@ impl SweepSpec {
         self
     }
 
+    /// Set the time-model axis (sync rounds and/or continuous time).
+    pub fn time_models(mut self, time_models: Vec<TimeModel>) -> Self {
+        self.time_models = time_models;
+        self
+    }
+
     /// Set the trials-per-cell budget.
     pub fn trials(mut self, trials: u64) -> Self {
         self.trials = trials;
@@ -103,27 +115,36 @@ impl SweepSpec {
         self
     }
 
-    /// Number of grid cells (product of the four axis lengths).
+    /// Number of grid cells (product of the five axis lengths).
     pub fn cell_count(&self) -> usize {
-        self.ns.len() * self.protocols.len() * self.churns.len() * self.losses.len()
+        self.ns.len()
+            * self.protocols.len()
+            * self.churns.len()
+            * self.losses.len()
+            * self.time_models.len()
     }
 
     /// Enumerate the grid in its canonical nested order:
-    /// `n` (outermost) → protocol → churn → loss (innermost).
-    /// `cells()[i].index == i` always holds.
+    /// `n` (outermost) → protocol → churn → loss → time model
+    /// (innermost). `cells()[i].index == i` always holds. With the
+    /// default single-point time-model axis, the enumeration is exactly
+    /// the classic four-axis one.
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for &n in &self.ns {
             for &protocol in &self.protocols {
                 for &churn in &self.churns {
                     for &loss in &self.losses {
-                        cells.push(Cell {
-                            index: cells.len(),
-                            n,
-                            protocol,
-                            churn,
-                            loss,
-                        });
+                        for &time_model in &self.time_models {
+                            cells.push(Cell {
+                                index: cells.len(),
+                                n,
+                                protocol,
+                                churn,
+                                loss,
+                                time_model,
+                            });
+                        }
                     }
                 }
             }
@@ -137,8 +158,10 @@ impl SweepSpec {
         derive_seed(derive_seed(self.seed, cell_index as u64), trial)
     }
 
-    /// The runtime scenario for one cell: always sequential — the
-    /// fleet's parallelism is across trials, not within a run.
+    /// The runtime scenario for one cell — within-run always
+    /// single-threaded (sequential rounds, or the serial event loop for
+    /// continuous cells): the fleet's parallelism is across trials, not
+    /// within a run.
     ///
     /// # Panics
     /// Panics if the cell's churn or loss is outside `[0, 1)`;
@@ -154,7 +177,7 @@ impl SweepSpec {
         if cell.loss > 0.0 {
             s = s.conditions(Conditions::with_loss(cell.loss));
         }
-        s
+        s.time_model(cell.time_model)
     }
 
     /// Check the whole grid without running anything: non-empty axes,
@@ -166,6 +189,7 @@ impl SweepSpec {
             ("protocols", self.protocols.len()),
             ("churns", self.churns.len()),
             ("losses", self.losses.len()),
+            ("time_models", self.time_models.len()),
         ] {
             if len == 0 {
                 return Err(SweepError::EmptyAxis { axis });
@@ -207,6 +231,8 @@ pub struct Cell {
     pub churn: f64,
     /// Channel drop probability (`0.0` = ideal).
     pub loss: f64,
+    /// Time model of this cell's runs.
+    pub time_model: TimeModel,
 }
 
 /// What a sweep can fail with.
@@ -214,7 +240,8 @@ pub struct Cell {
 pub enum SweepError {
     /// A grid axis has no points.
     EmptyAxis {
-        /// Which axis (`"ns"`, `"protocols"`, `"churns"`, `"losses"`).
+        /// Which axis (`"ns"`, `"protocols"`, `"churns"`, `"losses"`,
+        /// `"time_models"`).
         axis: &'static str,
     },
     /// `trials == 0`: nothing to aggregate.
@@ -301,6 +328,81 @@ mod tests {
     }
 
     #[test]
+    fn time_model_axis_multiplies_the_grid() {
+        let spec = tiny().time_models(vec![
+            TimeModel::Rounds(ExecChoice::Sequential),
+            TimeModel::Continuous { rate: 1.0 },
+        ]);
+        assert_eq!(spec.cell_count(), 32);
+        let cells = spec.cells();
+        // Time model is the innermost axis: it varies fastest.
+        assert_eq!(
+            cells[0].time_model,
+            TimeModel::Rounds(ExecChoice::Sequential)
+        );
+        assert_eq!(cells[1].time_model, TimeModel::Continuous { rate: 1.0 });
+        assert_eq!(cells[0].loss, cells[1].loss);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        assert_eq!(
+            spec.time_models(vec![]).validate().unwrap_err(),
+            SweepError::EmptyAxis {
+                axis: "time_models"
+            }
+        );
+    }
+
+    #[test]
+    fn continuous_cells_validate_only_for_ported_ideal_workloads() {
+        // Continuous-time cells of a supported spreader at ideal
+        // conditions validate; churned / lossy / dating-based cells are
+        // rejected through the usual BadCell path.
+        let ok = SweepSpec::new()
+            .ns(vec![16])
+            .protocols(vec![Spreader::PushPull])
+            .time_models(vec![TimeModel::Continuous { rate: 1.0 }]);
+        assert!(ok.validate().is_ok());
+        let churned = ok.clone().churns(vec![0.1]);
+        assert!(matches!(
+            churned.validate().unwrap_err(),
+            SweepError::BadCell {
+                source: ScenarioError::ContinuousUnsupported { .. },
+                ..
+            }
+        ));
+        let dating = ok.protocols(vec![Spreader::Dating]);
+        assert!(matches!(
+            dating.validate().unwrap_err(),
+            SweepError::BadCell {
+                source: ScenarioError::ContinuousUnsupported { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scenario_for_continuous_cell_uses_the_event_executor() {
+        let spec = SweepSpec::new()
+            .ns(vec![16])
+            .protocols(vec![Spreader::PushPull]);
+        let cell = Cell {
+            index: 0,
+            n: 16,
+            protocol: Spreader::PushPull,
+            churn: 0.0,
+            loss: 0.0,
+            time_model: TimeModel::Continuous { rate: 2.0 },
+        };
+        let s = spec.scenario_for(&cell);
+        assert_eq!(s.executor_name(), "event(1)");
+        let report = s.run(7).expect("continuous cell runs");
+        assert!(report.completed);
+        let out = report.expect_output();
+        assert!(out.async_spread().expect("async output").seconds() > 0.0);
+    }
+
+    #[test]
     fn trial_seeds_are_distinct_streams() {
         let spec = tiny().seed(9);
         let mut seen = std::collections::HashSet::new();
@@ -357,6 +459,7 @@ mod tests {
             protocol: Spreader::Push,
             churn: 0.1,
             loss: 0.05,
+            time_model: TimeModel::Rounds(ExecChoice::Sequential),
         };
         let s = spec.scenario_for(&cell);
         assert_eq!(s.n(), 8);

@@ -14,15 +14,20 @@
 //! ([`RtDatingSpread`]), lossy dating ([`RtDatingSpread::with_loss`]),
 //! PUSH&PULL ([`RtPushPull`]), PUSH ([`RtPush`]), PULL ([`RtPull`]),
 //! fair PULL ([`RtFairPull`]) and fair PUSH&PULL ([`RtFairPushPull`]).
+//! The five uniform-gossip baselines additionally have a
+//! **continuous-time port** ([`AsyncSpread`]) for the event-driven
+//! executor, with asynchronous PUSH&PULL as the flagship workload.
 //! Prefer constructing them through the [`Scenario`](crate::Scenario)
 //! builder, which validates sizes up front and picks the executor.
 
+mod async_spread;
 mod baselines;
 mod dating;
 mod spread;
 
 pub(crate) use spread::check_loss;
 
+pub use async_spread::{AsyncGossipMsg, AsyncSpread, AsyncSpreadNode, AsyncSpreadSummary};
 pub use baselines::{RtFairPull, RtFairPushPull, RtPull, RtPush};
 pub use dating::{DatingRunSummary, RuntimeDating};
 pub use spread::{

@@ -1,0 +1,433 @@
+//! The continuous-time event-driven executor.
+//!
+//! Synchronous rounds are a modelling choice, not a law: in the
+//! asynchronous rumor-spreading setting (Patsonakis & Roussopoulos'
+//! evaluation of asynchronous PUSH&PULL) every node wakes on its own
+//! exponential clock and acts immediately. [`EventExecutor`] hosts that
+//! setting for [`AsyncProtocol`] state machines while keeping the
+//! workspace determinism contract:
+//!
+//! * **Hashed wake clocks.** Node `i`'s `k`-th inter-arrival is the
+//!   exponential inversion of a unit uniform hashed from
+//!   `(seed, node, seq)` — never drawn from a shared RNG — so the whole
+//!   event schedule is a pure function of the seed, exactly like message
+//!   fate and churn liveness in the round executors.
+//! * **Integer simulated time.** Wake times are `u64` nanosecond ticks
+//!   ([`TICKS_PER_SEC`]); event order is the total order on
+//!   `(ticks, node)` with no float comparisons anywhere, so traces
+//!   cannot drift across platforms or lane layouts.
+//! * **Lane-invariant dispatch.** Nodes are partitioned into contiguous
+//!   *lanes*, one binary heap per lane (the analogue of the sharded
+//!   executor's node shards); each step pops the globally minimal
+//!   `(ticks, node)` across lane heads. Since the minimum of a set does
+//!   not depend on how the set is partitioned, the event trace is
+//!   bit-identical at any lane count — the property
+//!   `tests/event_exec.rs` pins at lanes {1, 2, 8}.
+//! * **Parked messages.** There is no "current round" for a message to
+//!   land in: sends are parked in a FIFO pending buffer at the
+//!   destination (manul-style caching of messages for activations that
+//!   have not started yet) and delivered, in arrival order, when the
+//!   destination next wakes.
+//! * **Incremental observation.** The executor maintains one global
+//!   [`RoundObs`]: before a node's event it retracts the node's old
+//!   contribution ([`RoundObs::retract`]), after the callbacks it merges
+//!   the new one — O(1) per event, the event-driven analogue of the
+//!   sharded executor's streaming finalize.
+//!
+//! Unlike the round executors, event processing is inherently serial
+//! (each event observes the state left by every earlier one), so the
+//! executor runs on the calling thread; lanes exist to pin the
+//! partition-invariance that a future parallel speculative variant
+//! would need, not to spread load.
+
+use crate::arena::NodeArena;
+use crate::conditions::to_unit;
+use crate::proto::{AsyncProtocol, Envelope, Outbox, RoundObs, Verdict};
+use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
+use rand::rngs::SmallRng;
+use rendez_sim::{derive_seed, small_rng_for, NodeId, SplitMix64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated-time resolution: one tick is a nanosecond, so `u64` holds
+/// ~584 years of simulated time and every comparison is integral.
+pub const TICKS_PER_SEC: u64 = 1_000_000_000;
+
+/// Stream salt separating wake-clock hashes from every other hash family
+/// derived from the run seed (message fate, churn liveness, node RNGs).
+const WAKE_SALT: u64 = 0xA57C_C10C;
+
+/// Drives an [`AsyncProtocol`] in continuous time: a deterministic
+/// event-queue executor with exponential per-node wake clocks.
+///
+/// `max_rounds` in the [`RunConfig`] is reinterpreted as a cap on the
+/// *mean wakes per node*: the run stops (with `completed = false`) after
+/// `max_rounds × n` events.
+///
+/// The executor models ideal channels only — `run` panics on lossy /
+/// latency-conditioned or churned configs ([`Scenario`](crate::Scenario)
+/// rejects those combinations with a typed error up front).
+#[derive(Debug, Clone, Copy)]
+pub struct EventExecutor {
+    rate: f64,
+    lanes: usize,
+}
+
+impl EventExecutor {
+    /// An executor whose nodes wake `rate` times per simulated second on
+    /// average, with a single event lane.
+    pub fn new(rate: f64) -> Self {
+        Self::with_lanes(rate, 1)
+    }
+
+    /// Like [`new`](Self::new), with the node set partitioned into
+    /// `lanes` contiguous heap lanes. The event trace is bit-identical
+    /// for every lane count ≥ 1.
+    pub fn with_lanes(rate: f64, lanes: usize) -> Self {
+        Self {
+            rate,
+            lanes: lanes.max(1),
+        }
+    }
+
+    /// Mean wakes per node per simulated second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Human-readable name for experiment tables.
+    pub fn name(&self) -> String {
+        format!("event({})", self.lanes)
+    }
+
+    /// Node `node`'s `seq`-th exponential inter-arrival, in ticks ≥ 1.
+    /// A pure function of `(seed, node, seq)` — the async leg of the
+    /// determinism contract.
+    fn wake_dt(&self, seed: u64, node: u64, seq: u64) -> u64 {
+        let u = to_unit(derive_seed(derive_seed(seed ^ WAKE_SALT, node), seq));
+        let dt = -(1.0 - u).ln() / self.rate * TICKS_PER_SEC as f64;
+        (dt as u64).max(1)
+    }
+
+    /// Drive `proto` over `n` nodes until it halts or `max_rounds × n`
+    /// wake events have been processed.
+    pub fn run<P: AsyncProtocol>(
+        &self,
+        proto: &mut P,
+        n: usize,
+        cfg: &RunConfig,
+    ) -> RunReport<P::Output> {
+        assert!(n > 0, "a run needs at least one node");
+        assert!(
+            self.rate.is_finite() && self.rate > 0.0,
+            "wake rate must be finite and positive, got {}",
+            self.rate
+        );
+        assert!(
+            cfg.conditions.is_ideal(),
+            "EventExecutor models ideal channels; conditioning is a rounds-model feature"
+        );
+        assert!(
+            cfg.churn.is_none(),
+            "EventExecutor does not support churn yet"
+        );
+        let max_events = cfg.max_rounds.saturating_mul(n as u64);
+
+        let mut rngs: Vec<SmallRng> = (0..n).map(|i| small_rng_for(cfg.seed, i as u64)).collect();
+        let mut seqs: Vec<u64> = vec![0; n];
+        let mut nodes: Vec<P::Node> = (0..n)
+            .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
+            .collect();
+
+        // One pending FIFO per destination: messages wait here, in
+        // arrival order, for the destination's next activation. The
+        // buffers are recycled in place, so steady-state events reuse
+        // their allocations.
+        let mut pending: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut arena = NodeArena::new(0, n);
+        let mut stats = NetStats::default();
+        let mut digests = Vec::new();
+
+        // Lane heaps: contiguous node chunks, min-heap per lane keyed by
+        // (ticks, node). Every node keeps exactly one outstanding wake,
+        // so keys are unique and the scan over lane heads pops the same
+        // global minimum regardless of how many lanes there are.
+        let lanes = self.lanes.min(n);
+        let chunk = n.div_ceil(lanes);
+        let mut heaps: Vec<BinaryHeap<Reverse<(u64, u32)>>> =
+            (0..lanes).map(|_| BinaryHeap::new()).collect();
+        let mut wake_seq: Vec<u64> = vec![0; n];
+        for i in 0..n {
+            let t0 = self.wake_dt(cfg.seed, i as u64, 0);
+            heaps[i / chunk].push(Reverse((t0, i as u32)));
+        }
+
+        // The global observation, kept incrementally via retract/merge.
+        let mut obs = RoundObs::default();
+        for (i, node) in nodes.iter().enumerate() {
+            proto.observe_node(node, NodeId::from_index(i), &mut obs);
+        }
+        let mut scratch = RoundObs::default();
+        let mut chain = 0u64;
+        let mut now = 0u64;
+        let mut events = 0u64;
+
+        while events < max_events {
+            let mut best: Option<(usize, (u64, u32))> = None;
+            for (l, heap) in heaps.iter().enumerate() {
+                if let Some(&Reverse(key)) = heap.peek() {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => key < b,
+                    };
+                    if better {
+                        best = Some((l, key));
+                    }
+                }
+            }
+            let (lane, (t, node_u32)) = best.expect("every node always has one scheduled wake");
+            heaps[lane].pop();
+            now = t;
+            events += 1;
+            let i = node_u32 as usize;
+            let id = NodeId::from_index(i);
+
+            // Retract the waking node's old contribution, run its event,
+            // merge the new one — obs stays the exact whole-slice fold.
+            scratch.count = 0;
+            scratch.digest = 0;
+            scratch.lanes.clear();
+            proto.observe_node(&nodes[i], id, &mut scratch);
+            obs.retract(&scratch);
+
+            // One node per event, so the arena epoch doubles as the
+            // node's per-activation scratch (request stashes etc.).
+            arena.begin_round();
+            let mut inbox = std::mem::take(&mut pending[i]);
+            for env in inbox.drain(..) {
+                stats.delivered += 1;
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
+                proto.on_message(
+                    &mut nodes[i],
+                    id,
+                    env.src,
+                    env.msg,
+                    now,
+                    &mut rngs[i],
+                    &mut out,
+                );
+            }
+            pending[i] = inbox;
+            {
+                let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
+                proto.on_wake(&mut nodes[i], id, now, &mut rngs[i], &mut out);
+            }
+            for env in fresh.drain(..) {
+                stats.sent += 1;
+                stats.bytes_sent += proto.msg_bytes(&env.msg) as u64;
+                pending[env.dst.index()].push(env);
+            }
+
+            scratch.count = 0;
+            scratch.digest = 0;
+            scratch.lanes.clear();
+            proto.observe_node(&nodes[i], id, &mut scratch);
+            obs.merge(&scratch);
+
+            // The per-event trace entry is a *chained* hash — order
+            // sensitivity is the point here (this is the executor's own
+            // record of the event sequence, not a shard-merged partial),
+            // so any reordering anywhere shows up as a digest mismatch.
+            chain =
+                SplitMix64::mix(chain ^ now ^ SplitMix64::mix(i as u64) ^ proto.digest_obs(&obs));
+            digests.push(chain);
+
+            wake_seq[i] += 1;
+            let next = now.saturating_add(self.wake_dt(cfg.seed, i as u64, wake_seq[i]));
+            heaps[lane].push(Reverse((next, node_u32)));
+
+            if let Verdict::Halt(output) = proto.finalize(&obs, now, events) {
+                return RunReport {
+                    rounds: events,
+                    time: TimeAxis::SimSeconds {
+                        seconds: now as f64 / TICKS_PER_SEC as f64,
+                        events,
+                    },
+                    completed: true,
+                    output: Some(output),
+                    digests,
+                    stats,
+                    node_bytes: nodes.iter().map(|v| proto.node_mem_bytes(v) as u64).sum(),
+                };
+            }
+        }
+
+        RunReport {
+            rounds: events,
+            time: TimeAxis::SimSeconds {
+                seconds: now as f64 / TICKS_PER_SEC as f64,
+                events,
+            },
+            completed: false,
+            output: None,
+            digests,
+            stats,
+            node_bytes: nodes.iter().map(|v| proto.node_mem_bytes(v) as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Every wake sends one ping to a random peer; pings are counted at
+    /// delivery; halt once `target_total` pings have landed.
+    struct AsyncPing {
+        n: usize,
+        target_total: u64,
+    }
+
+    #[derive(Default)]
+    struct PingNode {
+        received: u64,
+        sent: u64,
+    }
+
+    impl AsyncProtocol for AsyncPing {
+        type Node = PingNode;
+        type Msg = u8;
+        type Output = u64;
+
+        fn init_node(&self, _id: NodeId, _rng: &mut SmallRng) -> PingNode {
+            PingNode::default()
+        }
+
+        fn on_wake(
+            &self,
+            node: &mut PingNode,
+            _id: NodeId,
+            _now_ticks: u64,
+            rng: &mut SmallRng,
+            out: &mut Outbox<'_, u8>,
+        ) {
+            let dst = NodeId(rng.gen_range(0..self.n as u32));
+            out.send(dst, 1);
+            node.sent += 1;
+        }
+
+        fn on_message(
+            &self,
+            node: &mut PingNode,
+            _id: NodeId,
+            _from: NodeId,
+            msg: u8,
+            _now_ticks: u64,
+            _rng: &mut SmallRng,
+            _out: &mut Outbox<'_, u8>,
+        ) {
+            node.received += msg as u64;
+        }
+
+        fn observe_node(&self, node: &PingNode, id: NodeId, obs: &mut RoundObs) {
+            obs.count = obs.count.wrapping_add(node.received);
+            let local = (node.received << 16) ^ node.sent;
+            obs.digest ^= SplitMix64::mix(local ^ SplitMix64::mix(id.index() as u64));
+        }
+
+        fn finalize(&mut self, obs: &RoundObs, _now_ticks: u64, _events: u64) -> Verdict<u64> {
+            if obs.count >= self.target_total {
+                Verdict::Halt(obs.count)
+            } else {
+                Verdict::Continue
+            }
+        }
+    }
+
+    fn run_lanes(lanes: usize, n: usize, seed: u64) -> RunReport<u64> {
+        let mut p = AsyncPing {
+            n,
+            target_total: 4 * n as u64,
+        };
+        EventExecutor::with_lanes(1.0, lanes).run(
+            &mut p,
+            n,
+            &RunConfig::seeded(seed).max_rounds(64),
+        )
+    }
+
+    #[test]
+    fn completes_and_accounts() {
+        let r = run_lanes(1, 60, 3);
+        assert!(r.completed);
+        let (seconds, events) = match r.time {
+            TimeAxis::SimSeconds { seconds, events } => (seconds, events),
+            other => panic!("continuous run reported {other:?}"),
+        };
+        assert_eq!(events, r.rounds, "rounds aliases the event count");
+        assert!(seconds > 0.0);
+        // One send per wake event; deliveries lag only by what is parked.
+        assert_eq!(r.stats.sent, events);
+        assert!(r.stats.delivered >= 4 * 60);
+        assert!(r.stats.delivered <= r.stats.sent);
+        assert_eq!(r.stats.dropped, 0);
+        assert_eq!(r.digests.len() as u64, events);
+    }
+
+    #[test]
+    fn event_trace_is_lane_invariant() {
+        for seed in [0, 9, 1234] {
+            let base = run_lanes(1, 97, seed);
+            for lanes in [2, 3, 8, 97, 200] {
+                let other = run_lanes(lanes, 97, seed);
+                assert_eq!(base.digests, other.digests, "lanes={lanes}");
+                assert_eq!(base.stats, other.stats, "lanes={lanes}");
+                assert_eq!(base.output, other.output, "lanes={lanes}");
+                assert_eq!(base.time, other.time, "lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_cap_reports_incomplete() {
+        let mut p = AsyncPing {
+            n: 10,
+            target_total: u64::MAX,
+        };
+        let r = EventExecutor::new(1.0).run(&mut p, 10, &RunConfig::seeded(1).max_rounds(7));
+        assert!(!r.completed);
+        assert_eq!(r.rounds, 7 * 10, "cap is max_rounds × n events");
+        assert!(r.output.is_none());
+    }
+
+    #[test]
+    fn wake_schedule_matches_the_rate() {
+        // Mean inter-arrival over many hashed draws ≈ 1/rate seconds.
+        let exec = EventExecutor::new(4.0);
+        let draws = 20_000u64;
+        let total: u64 = (0..draws).map(|s| exec.wake_dt(99, 7, s)).sum();
+        let mean_s = total as f64 / draws as f64 / TICKS_PER_SEC as f64;
+        assert!(
+            (mean_s - 0.25).abs() < 0.01,
+            "mean inter-arrival {mean_s} ≉ 0.25s"
+        );
+    }
+
+    #[test]
+    fn executor_name_shows_lanes() {
+        assert_eq!(EventExecutor::with_lanes(1.0, 8).name(), "event(8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "ideal channels")]
+    fn conditioned_configs_are_rejected() {
+        let mut p = AsyncPing {
+            n: 4,
+            target_total: 1,
+        };
+        let cfg = RunConfig::seeded(0).conditions(crate::conditions::Conditions::with_loss(0.5));
+        let _ = EventExecutor::new(1.0).run(&mut p, 4, &cfg);
+    }
+}

@@ -14,17 +14,25 @@
 //! * [`ConditionedExecutor`] — wraps any inner executor and overrides the
 //!   run's channel [`Conditions`](crate::Conditions) (loss, latency distributions).
 //!
+//! Outside the round family, [`EventExecutor`] drives continuous-time
+//! [`AsyncProtocol`](crate::proto::AsyncProtocol) state machines from a
+//! deterministic event queue (exponential per-node wake clocks hashed
+//! from `(seed, node, seq)`) — see its module docs for the async leg of
+//! the determinism contract.
+//!
 //! For back-to-back runs (Monte-Carlo sweeps), [`WorkerPool`] keeps the
 //! shard worker threads parked between runs:
 //! [`ShardedExecutor::run_in`] borrows the pool instead of spawning
 //! fresh threads, with a bit-identical report.
 
 mod conditioned;
+mod event;
 mod pool;
 mod sequential;
 mod sharded;
 
 pub use conditioned::ConditionedExecutor;
+pub use event::{EventExecutor, TICKS_PER_SEC};
 pub use pool::{PoolScope, WorkerPool};
 pub use sequential::SequentialExecutor;
 pub use sharded::ShardedExecutor;

@@ -3,7 +3,7 @@
 use super::{schedule_sends, tally_node_bytes, validate_run, Executor};
 use crate::arena::NodeArena;
 use crate::proto::{observe_nodes, Envelope, Outbox, RoundProtocol, Verdict};
-use crate::report::{NetStats, RunConfig, RunReport};
+use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
 use std::collections::VecDeque;
@@ -115,6 +115,7 @@ impl Executor for SequentialExecutor {
             if let Verdict::Halt(output) = verdict {
                 return RunReport {
                     rounds: round + 1,
+                    time: TimeAxis::Rounds(round + 1),
                     completed: true,
                     output: Some(output),
                     digests,
@@ -126,6 +127,7 @@ impl Executor for SequentialExecutor {
 
         RunReport {
             rounds: cfg.max_rounds,
+            time: TimeAxis::Rounds(cfg.max_rounds),
             completed: false,
             output: None,
             digests,

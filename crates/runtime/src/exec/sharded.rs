@@ -86,7 +86,7 @@ use super::pool::{PoolScope, WorkerPool};
 use super::{tally_node_bytes, validate_run, Executor};
 use crate::arena::NodeArena;
 use crate::proto::{observe_nodes, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
-use crate::report::{NetStats, RunConfig, RunReport};
+use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
 use std::collections::VecDeque;
@@ -727,6 +727,7 @@ where
             let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
             return RunReport {
                 rounds: round + 1,
+                time: TimeAxis::Rounds(round + 1),
                 completed: true,
                 output: Some(output),
                 digests,
@@ -741,6 +742,7 @@ where
     let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
     RunReport {
         rounds: cfg.max_rounds,
+        time: TimeAxis::Rounds(cfg.max_rounds),
         completed: false,
         output: None,
         digests,

@@ -19,7 +19,10 @@
 //!   shard-local message fate + routing, a coordinator that only splices
 //!   buckets — see its module docs for the zero-coordinator hot path) and
 //!   [`ConditionedExecutor`] (message loss and latency distributions
-//!   layered over any inner executor);
+//!   layered over any inner executor) — plus, outside the round family,
+//!   [`EventExecutor`]: a deterministic continuous-time executor driving
+//!   [`AsyncProtocol`] state machines from an event queue of exponential
+//!   per-node wake clocks ([`TimeModel::Continuous`](scenario::TimeModel));
 //! * [`adapters`] host all eight workloads — the distributed dating
 //!   service and the seven Figure-2 spreaders — on the runtime, while
 //!   the legacy `rendez_sim::Protocol` path keeps working untouched;
@@ -94,18 +97,20 @@ pub mod report;
 pub mod scenario;
 
 pub use adapters::{
-    DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull, RtPull, RtPush, RtPushPull,
-    RuntimeDating, SpreadRunSummary,
+    AsyncSpread, AsyncSpreadSummary, DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull,
+    RtPull, RtPush, RtPushPull, RuntimeDating, SpreadRunSummary,
 };
 pub use arena::NodeArena;
 pub use churn::{Churn, ChurnModel};
 pub use conditions::{Conditions, LatencyDist};
 pub use exec::{
-    ConditionedExecutor, Executor, PoolScope, SequentialExecutor, ShardedExecutor, WorkerPool,
+    ConditionedExecutor, EventExecutor, Executor, PoolScope, SequentialExecutor, ShardedExecutor,
+    WorkerPool, TICKS_PER_SEC,
 };
-pub use proto::{observe_nodes, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
+pub use proto::{observe_nodes, AsyncProtocol, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
 pub use registry::Spreader;
-pub use report::{NetStats, RunConfig, RunReport};
+pub use report::{NetStats, RunConfig, RunReport, TimeAxis};
 pub use scenario::{
-    Scenario, ScenarioError, ScenarioReport, WorkloadOutput, AUTO_SEQUENTIAL_BELOW,
+    ExecChoice, Scenario, ScenarioError, ScenarioReport, TimeModel, WorkloadOutput,
+    AUTO_SEQUENTIAL_BELOW,
 };

@@ -203,6 +203,26 @@ impl RoundObs {
             self.lane_add(lane, v);
         }
     }
+
+    /// Remove `other` from `self` — the exact inverse of
+    /// [`merge`](Self::merge): counts and lanes un-add by wrapping
+    /// subtraction, the digest un-XORs (XOR is its own inverse).
+    ///
+    /// This is what lets the continuous-time
+    /// [`EventExecutor`](crate::EventExecutor) keep one *global*
+    /// observation incrementally: before a node's wake event it retracts
+    /// that node's old contribution, after the callbacks it merges the
+    /// new one — O(1) per event instead of an O(n) re-fold.
+    pub fn retract(&mut self, other: &RoundObs) {
+        self.count = self.count.wrapping_sub(other.count);
+        self.digest ^= other.digest;
+        for (lane, &v) in other.lanes.iter().enumerate() {
+            if self.lanes.len() <= lane {
+                self.lanes.resize(lane + 1, 0);
+            }
+            self.lanes[lane] = self.lanes[lane].wrapping_sub(v);
+        }
+    }
 }
 
 /// Fold `nodes` (ids `base..base + nodes.len()`) into one [`RoundObs`]
@@ -367,6 +387,102 @@ pub trait RoundProtocol: Sync {
     }
 }
 
+/// A continuous-time protocol as a typed per-node state machine — the
+/// asynchronous counterpart of [`RoundProtocol`], driven by the
+/// [`EventExecutor`](crate::EventExecutor).
+///
+/// There are no rounds: each node wakes on its own exponential clock.
+/// The executor processes one wake event at a time, in global
+/// `(time, node)` order:
+///
+/// 1. every message parked for the waking node since its last activation
+///    is delivered through [`on_message`](Self::on_message), in arrival
+///    order (the pending buffer is FIFO per destination — early messages
+///    wait, manul-style, for the destination's next activation);
+/// 2. [`on_wake`](Self::on_wake) runs — the node's own action (push a
+///    rumor, issue a pull request, answer a stashed request);
+/// 3. the executor re-observes the node and feeds the updated global
+///    [`RoundObs`] to [`finalize`](Self::finalize).
+///
+/// Messages sent from either hook are parked at their destinations and
+/// delivered at the destination's next wake.
+///
+/// # Time-independent observation
+///
+/// Unlike [`RoundProtocol::observe_node`], the fold here takes **no
+/// round/time salt**: the executor maintains one global [`RoundObs`]
+/// incrementally, retracting a node's old contribution before its wake
+/// and merging the new one after ([`RoundObs::retract`]). That only
+/// works if a node's contribution is a pure function of its state — the
+/// same state must fold to the same partial at any simulated time.
+pub trait AsyncProtocol: Sync {
+    /// Per-node state.
+    type Node: Send;
+    /// The message type exchanged between nodes.
+    type Msg: Send;
+    /// The protocol's final result, produced on halt.
+    type Output;
+
+    /// Build node `id`'s initial state. `rng` is the node's private
+    /// stream, the same one later callbacks for `id` receive.
+    fn init_node(&self, id: NodeId, rng: &mut SmallRng) -> Self::Node;
+
+    /// Node `id` wakes at `now_ticks` (after its parked messages were
+    /// delivered): perform its action, possibly sending.
+    fn on_wake(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        now_ticks: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// `msg` from `from`, parked since it was sent, is delivered to the
+    /// waking node `id` at `now_ticks`. Replies are parked at `from`
+    /// until *its* next wake.
+    #[allow(clippy::too_many_arguments)]
+    fn on_message(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        now_ticks: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// Fold one node's state into a [`RoundObs`] partial. Must be a pure
+    /// function of `(node, id)` — see the trait docs on time-independent
+    /// observation — and respect the [`RoundObs`] merge-determinism rule.
+    fn observe_node(&self, node: &Self::Node, id: NodeId, obs: &mut RoundObs);
+
+    /// Decide continue / halt from the up-to-date global observation,
+    /// after each wake event. `events` counts wake events processed so
+    /// far (including the current one).
+    fn finalize(&mut self, obs: &RoundObs, now_ticks: u64, events: u64) -> Verdict<Self::Output>;
+
+    /// Fingerprint the global observation after an event; folded into
+    /// the executor's chained per-event trace digest. The default passes
+    /// the XOR accumulator through.
+    fn digest_obs(&self, obs: &RoundObs) -> u64 {
+        obs.digest
+    }
+
+    /// Declared wire size of a message, for byte accounting.
+    fn msg_bytes(&self, _msg: &Self::Msg) -> usize {
+        1
+    }
+
+    /// Resident bytes attributed to one node's state, for the
+    /// bytes/node scaling metric
+    /// ([`RunReport::node_bytes`](crate::RunReport::node_bytes)).
+    fn node_mem_bytes(&self, _node: &Self::Node) -> usize {
+        std::mem::size_of::<Self::Node>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,5 +577,35 @@ mod tests {
         assert_eq!(ab_c.lane(0), 12);
         assert_eq!(ab_c.lane(1), 9);
         assert_eq!(ab_c.lane(2), 0, "missing lanes read as zero");
+    }
+
+    #[test]
+    fn retract_inverts_merge() {
+        let mut total = RoundObs {
+            count: 10,
+            digest: 0xdead,
+            lanes: vec![4, 9],
+        };
+        let snapshot = total.clone();
+        let part = RoundObs {
+            count: 3,
+            digest: 0xbeef,
+            lanes: vec![1, 2, 5],
+        };
+        total.merge(&part);
+        total.retract(&part);
+        assert_eq!(total.count, snapshot.count);
+        assert_eq!(total.digest, snapshot.digest);
+        for lane in 0..3 {
+            assert_eq!(total.lane(lane), snapshot.lane(lane));
+        }
+
+        // Retract-then-merge round-trips too, even through wrap-around.
+        let mut small = RoundObs::default();
+        small.retract(&part);
+        small.merge(&part);
+        assert_eq!(small.count, 0);
+        assert_eq!(small.digest, 0);
+        assert_eq!(small.lane(2), 0);
     }
 }

@@ -103,6 +103,23 @@ impl Spreader {
     pub fn is_spreading(self) -> bool {
         self != Spreader::DatingService
     }
+
+    /// Whether this workload has a continuous-time port
+    /// ([`AsyncSpread`](crate::adapters::AsyncSpread)) and can run under
+    /// [`TimeModel::Continuous`](crate::scenario::TimeModel). The five
+    /// uniform-gossip baselines do; the dating-based workloads do not —
+    /// their matchmaking step is a barrier over a whole inbox, which has
+    /// no one-node-at-a-time reading.
+    pub fn supports_continuous(self) -> bool {
+        matches!(
+            self,
+            Spreader::Push
+                | Spreader::Pull
+                | Spreader::PushPull
+                | Spreader::FairPull
+                | Spreader::FairPushPull
+        )
+    }
 }
 
 impl std::fmt::Display for Spreader {
@@ -131,6 +148,17 @@ mod tests {
         assert!(!Spreader::SPREADERS.contains(&Spreader::DatingService));
         assert!(!Spreader::DatingService.is_spreading());
         assert!(Spreader::SPREADERS.iter().all(|s| s.is_spreading()));
+        assert_eq!(
+            Spreader::ALL
+                .iter()
+                .filter(|s| s.supports_continuous())
+                .count(),
+            5,
+            "the five uniform-gossip baselines have async ports"
+        );
+        assert!(!Spreader::DatingService.supports_continuous());
+        assert!(!Spreader::Dating.supports_continuous());
+        assert!(!Spreader::LossyDating.supports_continuous());
         let mut names: Vec<_> = Spreader::ALL.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();

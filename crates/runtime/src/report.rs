@@ -91,11 +91,58 @@ impl NetStats {
     }
 }
 
+/// The unified time axis of a run: how far the simulation advanced,
+/// in whichever units the executor's time model uses.
+///
+/// Synchronous-round executors ([`SequentialExecutor`](crate::SequentialExecutor),
+/// [`ShardedExecutor`](crate::ShardedExecutor)) report `Rounds`; the
+/// continuous-time [`EventExecutor`](crate::EventExecutor) reports
+/// `SimSeconds` (simulated seconds plus the number of discrete wake
+/// events it processed). `RunReport::rounds` stays populated in both
+/// cases for legacy consumers — see its docs for the async reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeAxis {
+    /// Synchronous rounds executed.
+    Rounds(u64),
+    /// Continuous (event-driven) simulated time.
+    SimSeconds {
+        /// Simulated seconds elapsed when the run ended.
+        seconds: f64,
+        /// Discrete wake events processed.
+        events: u64,
+    },
+}
+
+impl TimeAxis {
+    /// The synchronous round count, if this run was round-based.
+    pub fn rounds(&self) -> Option<u64> {
+        match *self {
+            TimeAxis::Rounds(r) => Some(r),
+            TimeAxis::SimSeconds { .. } => None,
+        }
+    }
+
+    /// The simulated seconds, if this run was continuous-time.
+    pub fn sim_seconds(&self) -> Option<f64> {
+        match *self {
+            TimeAxis::Rounds(_) => None,
+            TimeAxis::SimSeconds { seconds, .. } => Some(seconds),
+        }
+    }
+}
+
 /// Everything one run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport<R> {
-    /// Rounds executed.
+    /// Rounds executed. For continuous-time runs (where there are no
+    /// rounds) this holds the number of wake events processed, so
+    /// legacy `rounds`-per-trial consumers keep getting a monotone
+    /// work measure; [`RunReport::time`] carries the honest axis.
     pub rounds: u64,
+    /// How far the run advanced on its executor's time axis — rounds
+    /// for synchronous executors, simulated seconds + event count for
+    /// the continuous-time one.
+    pub time: TimeAxis,
     /// Whether the protocol halted by itself (false = hit `max_rounds`).
     pub completed: bool,
     /// The protocol's output, when it halted.
@@ -128,6 +175,7 @@ impl<R> RunReport<R> {
     pub fn map<T>(self, f: impl FnOnce(R) -> T) -> RunReport<T> {
         RunReport {
             rounds: self.rounds,
+            time: self.time,
             completed: self.completed,
             output: self.output.map(f),
             digests: self.digests,
@@ -183,6 +231,7 @@ mod tests {
     fn expect_output_panics_when_incomplete() {
         let r: RunReport<u32> = RunReport {
             rounds: 5,
+            time: TimeAxis::Rounds(5),
             completed: false,
             output: None,
             digests: vec![],
@@ -190,5 +239,18 @@ mod tests {
             node_bytes: 0,
         };
         let _ = r.expect_output();
+    }
+
+    #[test]
+    fn time_axis_accessors() {
+        let rounds = TimeAxis::Rounds(12);
+        assert_eq!(rounds.rounds(), Some(12));
+        assert_eq!(rounds.sim_seconds(), None);
+        let cont = TimeAxis::SimSeconds {
+            seconds: 2.5,
+            events: 40,
+        };
+        assert_eq!(cont.rounds(), None);
+        assert_eq!(cont.sim_seconds(), Some(2.5));
     }
 }

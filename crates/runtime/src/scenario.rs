@@ -25,22 +25,54 @@
 //! deep inside an executor. The determinism contract carries over
 //! unchanged — for a fixed scenario and seed, every executor
 //! configuration returns a bit-identical [`RunReport`].
+//!
+//! ## Time models — migrating from `executor()` / `auto_executor()`
+//!
+//! Executor selection used to be the builder's only scheduling axis.
+//! With the continuous-time [`EventExecutor`] the
+//! real axis is the **time model** — synchronous rounds (under any round
+//! executor) or continuous time (exponential per-node wake clocks) —
+//! selected via [`Scenario::time_model`]:
+//!
+//! ```rust
+//! use rendez_runtime::{ExecChoice, Scenario, Spreader, TimeModel};
+//!
+//! // Old (deprecated shims, still working):
+//! //   Scenario::new(n).executor(ExecChoice::Auto)
+//! //   Scenario::new(n).auto_executor()
+//! // New:
+//! let sync = Scenario::new(50_000).time_model(TimeModel::Rounds(ExecChoice::Auto));
+//!
+//! // Asynchronous PUSH&PULL: each node wakes ~1.0 times per simulated
+//! // second; the report's time axis is simulated seconds + events.
+//! let report = Scenario::new(500)
+//!     .protocol(Spreader::PushPull)
+//!     .time_model(TimeModel::Continuous { rate: 1.0 })
+//!     .run(42)
+//!     .expect("valid scenario");
+//! let out = report.expect_output();
+//! assert_eq!(out.async_spread().unwrap().final_informed(), 500);
+//! ```
+//!
+//! The [`sharded`](Scenario::sharded) / [`sequential`](Scenario::sequential)
+//! conveniences remain first-class sugar for
+//! `time_model(TimeModel::Rounds(...))`.
 
 use crate::adapters::{
-    DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull, RtPull, RtPush, RtPushPull,
-    RuntimeDating, SpreadRunSummary,
+    AsyncSpread, AsyncSpreadSummary, DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull,
+    RtPull, RtPush, RtPushPull, RuntimeDating, SpreadRunSummary,
 };
 use crate::churn::Churn;
 use crate::conditions::Conditions;
-use crate::exec::{Executor, SequentialExecutor, ShardedExecutor, WorkerPool};
+use crate::exec::{EventExecutor, Executor, SequentialExecutor, ShardedExecutor, WorkerPool};
 use crate::proto::RoundProtocol;
 use crate::registry::Spreader;
 use crate::report::{RunConfig, RunReport};
 use rendez_core::{NodeSelector, Platform, UniformSelector};
 use rendez_sim::NodeId;
 
-/// Below this node count, [`Scenario::auto_executor`] resolves to
-/// sequential execution.
+/// Below this node count, [`ExecChoice::Auto`] resolves to sequential
+/// execution.
 ///
 /// The threshold comes from the recorded perf baseline
 /// (`BENCH_runtime.json`): at `n = 4000` the sharded executor moves
@@ -52,9 +84,10 @@ use rendez_sim::NodeId;
 /// observed to win.
 pub const AUTO_SEQUENTIAL_BELOW: usize = 32_768;
 
-/// Executor selection for a [`Scenario`].
+/// Round-executor selection for the synchronous time model
+/// ([`TimeModel::Rounds`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecChoice {
+pub enum ExecChoice {
     /// Run on the calling thread.
     Sequential,
     /// Run shard-parallel over `k` threads (`0` = one per core).
@@ -63,6 +96,30 @@ enum ExecChoice {
     /// [`AUTO_SEQUENTIAL_BELOW`], sharded (one shard per core) at or
     /// above it.
     Auto,
+}
+
+/// The scenario's time model: how simulated time advances.
+///
+/// This is the builder's scheduling axis ([`Scenario::time_model`]).
+/// `Rounds` is the paper's synchronous model — all executors produce
+/// bit-identical reports, so [`ExecChoice`] only affects wall-clock
+/// time. `Continuous` is the asynchronous setting (Patsonakis &
+/// Roussopoulos): each node wakes on its own exponential clock and the
+/// run is driven by the [`EventExecutor`]; the
+/// report's [`time`](RunReport::time) axis becomes simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeModel {
+    /// Synchronous rounds, under the given round executor.
+    Rounds(ExecChoice),
+    /// Continuous time: every node wakes `rate` times per simulated
+    /// second on average. Only workloads with a continuous-time port
+    /// run here ([`Spreader::supports_continuous`]); channel
+    /// conditioning and churn are rounds-model features and are
+    /// rejected at validation.
+    Continuous {
+        /// Mean wakes per node per simulated second (finite, > 0).
+        rate: f64,
+    },
 }
 
 /// What a [`Scenario`] run can reject at validation time.
@@ -120,6 +177,19 @@ pub enum ScenarioError {
         /// The unrecognized key.
         name: String,
     },
+    /// The configuration has no continuous-time reading: the workload
+    /// lacks an async port ([`Spreader::supports_continuous`]), or the
+    /// scenario layers rounds-model features (conditioning, churn) over
+    /// [`TimeModel::Continuous`].
+    ContinuousUnsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// [`TimeModel::Continuous`] wake rate is not finite and positive.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -159,6 +229,12 @@ impl std::fmt::Display for ScenarioError {
                     "unknown protocol {name:?}; see Spreader::ALL for the registry"
                 )
             }
+            ScenarioError::ContinuousUnsupported { reason } => {
+                write!(f, "no continuous-time reading: {reason}")
+            }
+            ScenarioError::InvalidRate { rate } => {
+                write!(f, "wake rate must be finite and positive, got {rate}")
+            }
         }
     }
 }
@@ -172,8 +248,10 @@ impl std::error::Error for ScenarioError {}
 pub enum WorkloadOutput {
     /// Output of the [`Spreader::DatingService`] workload.
     Dating(DatingRunSummary),
-    /// Output of any rumor-spreading workload.
+    /// Output of any rumor-spreading workload under [`TimeModel::Rounds`].
     Spread(SpreadRunSummary),
+    /// Output of a spreading workload under [`TimeModel::Continuous`].
+    AsyncSpread(AsyncSpreadSummary),
 }
 
 impl WorkloadOutput {
@@ -181,15 +259,24 @@ impl WorkloadOutput {
     pub fn dating(&self) -> Option<&DatingRunSummary> {
         match self {
             WorkloadOutput::Dating(d) => Some(d),
-            WorkloadOutput::Spread(_) => None,
+            _ => None,
         }
     }
 
-    /// The spreading summary, if this was a spreading run.
+    /// The spreading summary, if this was a synchronous spreading run.
     pub fn spread(&self) -> Option<&SpreadRunSummary> {
         match self {
-            WorkloadOutput::Dating(_) => None,
             WorkloadOutput::Spread(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The asynchronous spreading summary, if this was a continuous-time
+    /// run.
+    pub fn async_spread(&self) -> Option<&AsyncSpreadSummary> {
+        match self {
+            WorkloadOutput::AsyncSpread(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -214,7 +301,7 @@ pub struct Scenario<S: NodeSelector + Clone = UniformSelector> {
     protocol: Spreader,
     conditions: Conditions,
     churn: Churn,
-    exec: ExecChoice,
+    time: TimeModel,
     source: NodeId,
     cycles: u64,
     loss: f64,
@@ -237,7 +324,7 @@ impl Scenario<UniformSelector> {
             protocol: Spreader::DatingService,
             conditions: Conditions::ideal(),
             churn: Churn::none(),
-            exec: ExecChoice::Sequential,
+            time: TimeModel::Rounds(ExecChoice::Sequential),
             source: NodeId(0),
             cycles: 30,
             loss: 0.2,
@@ -263,7 +350,7 @@ impl<S: NodeSelector + Clone> Scenario<S> {
             protocol: self.protocol,
             conditions: self.conditions,
             churn: self.churn,
-            exec: self.exec,
+            time: self.time,
             source: self.source,
             cycles: self.cycles,
             loss: self.loss,
@@ -300,32 +387,50 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         self
     }
 
+    /// Set the time model: synchronous rounds under a chosen round
+    /// executor, or continuous time on the event-driven executor. This
+    /// is the primary scheduling axis — see the [module docs](self) for
+    /// the migration note from the old `executor()`/`auto_executor()`
+    /// calls.
+    pub fn time_model(mut self, time: TimeModel) -> Self {
+        self.time = time;
+        self
+    }
+
     /// Execute rounds shard-parallel over `k` scoped threads (`0` = one
     /// shard per core). The report is bit-identical to sequential
     /// execution for every `k` — that is the runtime's contract.
-    pub fn sharded(mut self, k: usize) -> Self {
-        self.exec = ExecChoice::Sharded(k);
-        self
+    /// Shorthand for `time_model(TimeModel::Rounds(ExecChoice::Sharded(k)))`.
+    pub fn sharded(self, k: usize) -> Self {
+        self.time_model(TimeModel::Rounds(ExecChoice::Sharded(k)))
     }
 
-    /// Execute rounds on the calling thread (the default).
-    pub fn sequential(mut self) -> Self {
-        self.exec = ExecChoice::Sequential;
-        self
+    /// Execute rounds on the calling thread (the default). Shorthand
+    /// for `time_model(TimeModel::Rounds(ExecChoice::Sequential))`.
+    pub fn sequential(self) -> Self {
+        self.time_model(TimeModel::Rounds(ExecChoice::Sequential))
     }
 
-    /// Pick the executor from the node count: sequential below
-    /// [`AUTO_SEQUENTIAL_BELOW`] nodes, sharded with one shard per core
-    /// at or above it. Small scenarios thereby avoid the sharded
-    /// executor's per-round coordination overhead (a measured 2.2×
-    /// throughput regression at `n = 4000`), while large ones get all
-    /// cores. Explicit [`sharded`](Self::sharded) /
-    /// [`sequential`](Self::sequential) calls always win over the
-    /// heuristic; the chosen executor never changes the report, only
-    /// wall-clock time.
-    pub fn auto_executor(mut self) -> Self {
-        self.exec = ExecChoice::Auto;
-        self
+    /// Deprecated shim: pick a round executor directly. Equivalent to
+    /// `time_model(TimeModel::Rounds(choice))`.
+    #[deprecated(since = "0.2.0", note = "use time_model(TimeModel::Rounds(choice))")]
+    pub fn executor(self, choice: ExecChoice) -> Self {
+        self.time_model(TimeModel::Rounds(choice))
+    }
+
+    /// Deprecated shim: pick the round executor from the node count —
+    /// sequential below [`AUTO_SEQUENTIAL_BELOW`] nodes (where the
+    /// sharded executor's per-round coordination overhead was a measured
+    /// 2.2× throughput regression), sharded with one shard per core at
+    /// or above it. Equivalent to
+    /// `time_model(TimeModel::Rounds(ExecChoice::Auto))`; the chosen
+    /// executor never changes the report, only wall-clock time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use time_model(TimeModel::Rounds(ExecChoice::Auto))"
+    )]
+    pub fn auto_executor(self) -> Self {
+        self.time_model(TimeModel::Rounds(ExecChoice::Auto))
     }
 
     /// Set the rumor source (default: node 0). Ignored by the
@@ -351,6 +456,8 @@ impl<S: NodeSelector + Clone> Scenario<S> {
 
     /// Cap on engine rounds (default: the dating service's natural
     /// length, or a generous `3·(200 + 80·log₂ n)` for spreaders).
+    /// Under [`TimeModel::Continuous`] the same number caps the *mean
+    /// wakes per node* — the run stops after `max_rounds × n` events.
     pub fn max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = Some(max_rounds);
         self
@@ -366,19 +473,32 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         self.protocol
     }
 
+    /// The configured time model.
+    pub fn time_model_choice(&self) -> TimeModel {
+        self.time
+    }
+
     /// Human-readable executor name, for experiment tables. Auto mode
     /// reports the executor it resolves to for this scenario's `n`.
     pub fn executor_name(&self) -> String {
-        match self.resolve_shards() {
-            None => SequentialExecutor.name(),
-            Some(k) => ShardedExecutor::new(k).name(),
+        match self.time {
+            TimeModel::Continuous { rate } => EventExecutor::new(rate).name(),
+            TimeModel::Rounds(_) => match self.resolve_shards() {
+                None => SequentialExecutor.name(),
+                Some(k) => ShardedExecutor::new(k).name(),
+            },
         }
     }
 
-    /// Resolve the configured [`ExecChoice`] to a concrete executor:
+    /// Resolve the round-model [`ExecChoice`] to a concrete executor:
     /// `None` = sequential, `Some(k)` = sharded over `k` threads.
+    /// Only meaningful under [`TimeModel::Rounds`].
     fn resolve_shards(&self) -> Option<usize> {
-        match self.exec {
+        let choice = match self.time {
+            TimeModel::Rounds(choice) => choice,
+            TimeModel::Continuous { .. } => return None,
+        };
+        match choice {
             ExecChoice::Sequential => None,
             ExecChoice::Sharded(k) => Some(k),
             ExecChoice::Auto if self.n < AUTO_SEQUENTIAL_BELOW => None,
@@ -428,6 +548,26 @@ impl<S: NodeSelector + Clone> Scenario<S> {
         self.churn
             .check()
             .map_err(|reason| ScenarioError::InvalidChurn { reason })?;
+        if let TimeModel::Continuous { rate } = self.time {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ScenarioError::InvalidRate { rate });
+            }
+            if !self.protocol.supports_continuous() {
+                return Err(ScenarioError::ContinuousUnsupported {
+                    reason: format!("workload {} has no asynchronous port", self.protocol),
+                });
+            }
+            if !self.conditions.is_ideal() {
+                return Err(ScenarioError::ContinuousUnsupported {
+                    reason: "channel conditioning is a rounds-model feature".to_string(),
+                });
+            }
+            if !self.churn.is_none() {
+                return Err(ScenarioError::ContinuousUnsupported {
+                    reason: "churn is a rounds-model feature".to_string(),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -473,6 +613,16 @@ impl<S: NodeSelector + Clone> Scenario<S> {
             .max_rounds(self.resolve_max_rounds())
             .conditions(self.conditions)
             .churn(churn);
+
+        if let TimeModel::Continuous { rate } = self.time {
+            // Event processing is inherently serial; the worker pool is
+            // a round-model optimization and is ignored here.
+            let mut p = AsyncSpread::new(self.n, self.source, self.protocol);
+            let report = EventExecutor::new(rate)
+                .run(&mut p, self.n, &cfg)
+                .map(WorkloadOutput::AsyncSpread);
+            return Ok(report);
+        }
 
         let report = match self.protocol {
             Spreader::DatingService => {
@@ -737,6 +887,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn auto_executor_picks_by_node_count() {
         // Below the cut: the sharded executor's per-round handshakes
         // lose to sequential (2.2× at n=4000 in BENCH_runtime.json),
@@ -777,5 +928,117 @@ mod tests {
             base.clone().run(9).expect("valid").digests,
             base.clone().auto_executor().run(9).expect("valid").digests
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_time_model() {
+        // executor(choice) and auto_executor() must be pure sugar.
+        assert_eq!(
+            Scenario::new(50)
+                .executor(ExecChoice::Sharded(3))
+                .time_model_choice(),
+            TimeModel::Rounds(ExecChoice::Sharded(3))
+        );
+        assert_eq!(
+            Scenario::new(50).auto_executor().time_model_choice(),
+            TimeModel::Rounds(ExecChoice::Auto)
+        );
+        assert_eq!(
+            Scenario::new(50).sharded(2).time_model_choice(),
+            TimeModel::Rounds(ExecChoice::Sharded(2))
+        );
+        assert_eq!(
+            Scenario::new(50).sequential().time_model_choice(),
+            TimeModel::Rounds(ExecChoice::Sequential)
+        );
+    }
+
+    #[test]
+    fn continuous_time_model_runs_async_push_pull() {
+        use crate::report::TimeAxis;
+        let report = Scenario::new(300)
+            .protocol(Spreader::PushPull)
+            .time_model(TimeModel::Continuous { rate: 1.0 })
+            .run(21)
+            .expect("valid");
+        assert!(report.completed);
+        match report.time {
+            TimeAxis::SimSeconds { seconds, events } => {
+                assert!(seconds > 0.0);
+                assert_eq!(events, report.rounds);
+            }
+            other => panic!("continuous run reported {other:?}"),
+        }
+        let out = report.output.expect("halted");
+        let s = out.async_spread().expect("async spread output");
+        assert_eq!(s.final_informed(), 300);
+        assert!(out.spread().is_none() && out.dating().is_none());
+    }
+
+    #[test]
+    fn continuous_runs_are_seed_deterministic_and_seed_sensitive() {
+        let mk = || {
+            Scenario::new(200)
+                .protocol(Spreader::FairPushPull)
+                .time_model(TimeModel::Continuous { rate: 2.0 })
+        };
+        let a = mk().run(5).expect("valid");
+        let b = mk().run(5).expect("valid");
+        assert_eq!(a.digests, b.digests);
+        assert_eq!(a.output, b.output);
+        let c = mk().run(6).expect("valid");
+        assert_ne!(a.digests, c.digests, "different seed, different trace");
+    }
+
+    #[test]
+    fn continuous_misconfigurations_are_typed_errors() {
+        let base = |proto: Spreader| {
+            Scenario::new(50)
+                .protocol(proto)
+                .time_model(TimeModel::Continuous { rate: 1.0 })
+        };
+        // Workloads without an async port.
+        for proto in [
+            Spreader::DatingService,
+            Spreader::Dating,
+            Spreader::LossyDating,
+        ] {
+            let err = base(proto).run(0).unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::ContinuousUnsupported { .. }),
+                "{proto}: {err}"
+            );
+        }
+        // Rounds-model features layered over continuous time.
+        let err = base(Spreader::PushPull)
+            .conditions(Conditions::with_loss(0.1))
+            .run(0)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::ContinuousUnsupported { .. }));
+        let err = base(Spreader::PushPull)
+            .churn(Churn::intermittent(0.1))
+            .run(0)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::ContinuousUnsupported { .. }));
+        // Bad rates.
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = base(Spreader::PushPull)
+                .time_model(TimeModel::Continuous { rate })
+                .run(0)
+                .unwrap_err();
+            assert!(matches!(err, ScenarioError::InvalidRate { .. }), "{rate}");
+        }
+        // Error messages render.
+        let msg = base(Spreader::Dating).run(0).unwrap_err().to_string();
+        assert!(msg.contains("no continuous-time reading"), "{msg}");
+    }
+
+    #[test]
+    fn continuous_executor_name_surfaces() {
+        let s = Scenario::new(50)
+            .protocol(Spreader::Push)
+            .time_model(TimeModel::Continuous { rate: 1.0 });
+        assert_eq!(s.executor_name(), "event(1)");
     }
 }

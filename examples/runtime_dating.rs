@@ -35,6 +35,15 @@ fn describe(label: &str, report: &ScenarioReport) {
                 report.stats.dropped + report.stats.churn_lost,
             );
         }
+        WorkloadOutput::AsyncSpread(s) => {
+            println!(
+                "{label:<34} events={:<8} sim_s={:<8.2} informed={:<6} sent={}",
+                report.rounds,
+                s.seconds(),
+                s.final_informed(),
+                report.stats.sent,
+            );
+        }
     }
 }
 

@@ -243,3 +243,91 @@ fn registry_names_drive_the_builder() {
         assert!(report.completed, "{spreader}");
     }
 }
+
+// ---------------------------------------------------------------------
+// TimeModel API: the redesigned time axis end to end, and the pinned
+// rounds-case JSON schema.
+
+#[test]
+fn time_model_is_the_one_axis_for_executor_choice() {
+    let n = 400;
+    let base = Scenario::new(n).protocol(Spreader::PushPull);
+    let seq = base
+        .clone()
+        .time_model(TimeModel::Rounds(ExecChoice::Sequential))
+        .run(9)
+        .expect("valid");
+    let sh = base
+        .clone()
+        .time_model(TimeModel::Rounds(ExecChoice::Sharded(3)))
+        .run(9)
+        .expect("valid");
+    assert_eq!(seq.digests, sh.digests, "rounds executors share one trace");
+    assert_eq!(seq.time, TimeAxis::Rounds(seq.rounds));
+
+    let cont = base
+        .time_model(TimeModel::Continuous { rate: 1.0 })
+        .run(9)
+        .expect("valid");
+    assert!(cont.completed);
+    assert!(matches!(cont.time, TimeAxis::SimSeconds { .. }));
+    assert!(cont
+        .output
+        .as_ref()
+        .and_then(|o| o.async_spread())
+        .is_some());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_executor_shims_still_drive_time_model() {
+    let n = 400;
+    let base = Scenario::new(n).protocol(Spreader::Push);
+    let via_shim = base.clone().executor(ExecChoice::Sharded(2)).run(4);
+    let via_axis = base
+        .time_model(TimeModel::Rounds(ExecChoice::Sharded(2)))
+        .run(4);
+    assert_eq!(
+        via_shim.expect("valid").digests,
+        via_axis.expect("valid").digests
+    );
+}
+
+#[test]
+fn rounds_sweep_json_is_pinned_to_the_pre_time_model_schema() {
+    // Byte-level pin: a default (rounds-only) sweep must render exactly
+    // the schema emitted before the time-model axis existed — no
+    // "time_model" key anywhere, same header and per-cell field order.
+    use rendezvous::fleet::SweepSpec;
+    let spec = SweepSpec::new()
+        .ns(vec![16])
+        .protocols(vec![Spreader::Push])
+        .trials(2)
+        .seed(12)
+        .cycles(10);
+    let json = rendezvous::fleet::Fleet::new(1)
+        .run(&spec)
+        .expect("sweep runs")
+        .to_json();
+    assert!(
+        !json.contains("time_model"),
+        "rounds cells must not grow keys"
+    );
+    assert!(json.starts_with(
+        "{\n  \"schema\": \"rendez-fleet/sweep-v1\",\n  \"seed\": 12,\n  \
+         \"trials_per_cell\": 2,\n  \"trials_per_job\": 16,\n  \"cells\": [\n"
+    ));
+    assert!(json.contains(
+        "    {\"index\": 0, \"n\": 16, \"protocol\": \"push\", \"churn\": 0.0, \
+         \"loss\": 0.0, \"trials\": 2, \"completed\": 2,\n"
+    ));
+    for key in [
+        "\"value\": {",
+        "\"rounds\": {",
+        "\"sent\": {",
+        "\"delivered\": {",
+    ] {
+        assert!(json.contains(key), "missing metric {key}");
+    }
+    assert!(json.ends_with("  ]\n}\n"));
+}
