@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # rendez-bench — experiment harnesses and benchmarks
 //!
 //! One binary per paper artifact (see `src/bin/exp_*.rs`) plus Criterion

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)

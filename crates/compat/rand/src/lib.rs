@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.

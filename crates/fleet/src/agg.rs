@@ -9,6 +9,8 @@
 //! thread schedule — is what makes a cell's aggregate bit-identical
 //! across pool sizes and identical to the serial engine, which walks
 //! the very same blocks in the very same order.
+//!
+//! lint: deterministic
 
 use rendez_runtime::{ScenarioReport, WorkloadOutput};
 use rendez_stats::RunningStats;

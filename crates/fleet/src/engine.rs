@@ -16,6 +16,8 @@
 //! worker, the first payload is recorded, and every worker stops
 //! claiming jobs. The pool survives and the sweep returns
 //! [`SweepError::TrialPanicked`].
+//!
+//! lint: deterministic
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};

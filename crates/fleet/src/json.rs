@@ -10,6 +10,8 @@
 //! BMP, numbers parse via `str::parse::<f64>`). `rendez_bench` uses it
 //! to merge report files; `exp_sweep --check` uses it to prove its own
 //! output parses.
+//!
+//! lint: deterministic
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]

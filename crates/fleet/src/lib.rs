@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # rendez-fleet — Monte-Carlo fleet engine
@@ -66,6 +67,8 @@
 //! let serial = run_serial(&spec).expect("valid sweep");
 //! assert_eq!(report.to_json(), serial.to_json());
 //! ```
+//!
+//! lint: deterministic
 
 pub mod agg;
 pub mod engine;

@@ -7,6 +7,8 @@
 //! two engines (or two pool sizes) computed the same sweep. Floats are
 //! rendered with Rust's shortest-roundtrip formatting and non-finite
 //! values as `null`, keeping the bytes a pure function of the values.
+//!
+//! lint: deterministic
 
 use rendez_runtime::TimeModel;
 use rendez_stats::RunningStats;

@@ -8,6 +8,8 @@
 //! trial's seed derives from `(sweep_seed, cell_index, trial_index)`
 //! alone, so the whole sweep is reproducible from one `u64` and is
 //! entirely independent of how trials are scheduled onto threads.
+//!
+//! lint: deterministic
 
 use rendez_runtime::{Churn, Conditions, ExecChoice, Scenario, ScenarioError, Spreader, TimeModel};
 use rendez_sim::rng::derive_seed;

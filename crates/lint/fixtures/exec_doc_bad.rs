@@ -1,0 +1,6 @@
+//! An executor module whose rustdoc forgets to state its trace
+//! guarantee — the doc-drift rule must fire on this file.
+//!
+//! lint: deterministic
+
+pub fn run_round() {}

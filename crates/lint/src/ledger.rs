@@ -1,0 +1,266 @@
+//! `UNSAFE_LEDGER.toml`: the checked-in enumeration of every unsafe
+//! site in the workspace.
+//!
+//! Adding, moving, or re-justifying unsafe code must show up as a
+//! ledger diff in review. Each entry aggregates the unsafe tokens that
+//! share `(file, item, kind, safety-hash)` — a single SAFETY comment
+//! covering a run of `unsafe` blocks in one function is one entry with
+//! a `count`.
+//!
+//! The format is a deliberately tiny TOML subset (the repo is offline;
+//! no `toml` crate): `#` comments, `[[site]]` headers, and
+//! `key = "string"` / `key = integer` pairs. [`parse`] rejects anything
+//! else so the file can't silently rot.
+
+use crate::rules::UnsafeSite;
+
+/// One ledger entry (an aggregated unsafe site).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// `::`-joined enclosing item path.
+    pub item: String,
+    /// `block`, `fn`, `impl` or `trait`.
+    pub kind: String,
+    /// Number of unsafe tokens sharing this (file, item, kind, hash).
+    pub count: u32,
+    /// `0x`-hex FNV-1a hash of the covering SAFETY text.
+    pub safety: String,
+}
+
+/// Aggregate raw sites into sorted ledger entries. Uncovered sites
+/// (no SAFETY comment) hash as `"missing"` — they also produce a
+/// `safety-comment` finding, so a blessed ledger never contains one.
+pub fn aggregate(sites: &[UnsafeSite]) -> Vec<Entry> {
+    let mut out: Vec<Entry> = Vec::new();
+    for s in sites {
+        let safety = match s.safety_hash {
+            Some(h) => format!("{h:#018x}"),
+            None => "missing".to_string(),
+        };
+        if let Some(e) = out.iter_mut().find(|e| {
+            e.file == s.file && e.item == s.item && e.kind == s.kind && e.safety == safety
+        }) {
+            e.count += 1;
+        } else {
+            out.push(Entry {
+                file: s.file.clone(),
+                item: s.item.clone(),
+                kind: s.kind.to_string(),
+                count: 1,
+                safety,
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Serialize entries in the canonical blessed layout.
+pub fn serialize(entries: &[Entry]) -> String {
+    let mut s = String::from(
+        "# UNSAFE_LEDGER.toml — every unsafe site in the workspace.\n\
+         #\n\
+         # Regenerate with `cargo run -p rendez_lint -- --workspace --bless-ledger`\n\
+         # after reviewing the new/changed SAFETY comments. `safety` is the\n\
+         # FNV-1a hash of the covering SAFETY comment's normalized text, so\n\
+         # editing a justification also shows up as a ledger diff.\n",
+    );
+    for e in entries {
+        s.push_str(&format!(
+            "\n[[site]]\nfile = \"{}\"\nitem = \"{}\"\nkind = \"{}\"\ncount = {}\nsafety = \"{}\"\n",
+            e.file, e.item, e.kind, e.count, e.safety
+        ));
+    }
+    s
+}
+
+/// Parse the ledger's TOML subset. Returns entries or a
+/// `(line, message)` error.
+pub fn parse(src: &str) -> Result<Vec<Entry>, (u32, String)> {
+    let mut out: Vec<Entry> = Vec::new();
+    let mut cur: Option<Entry> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[site]]" {
+            if let Some(e) = cur.take() {
+                finish(e, lno, &mut out)?;
+            }
+            cur = Some(Entry {
+                file: String::new(),
+                item: String::new(),
+                kind: String::new(),
+                count: 0,
+                safety: String::new(),
+            });
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err((lno, format!("expected `key = value`, got `{line}`")));
+        };
+        let Some(e) = cur.as_mut() else {
+            return Err((lno, "key/value before the first [[site]] header".into()));
+        };
+        let key = key.trim();
+        let val = val.trim();
+        let unquote = |v: &str| -> Result<String, (u32, String)> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or((lno, format!("expected a quoted string, got `{v}`")))?;
+            Ok(inner.to_string())
+        };
+        match key {
+            "file" => e.file = unquote(val)?,
+            "item" => e.item = unquote(val)?,
+            "kind" => e.kind = unquote(val)?,
+            "safety" => e.safety = unquote(val)?,
+            "count" => {
+                e.count = val
+                    .parse()
+                    .map_err(|_| (lno, format!("count must be an integer, got `{val}`")))?
+            }
+            _ => return Err((lno, format!("unknown key `{key}`"))),
+        }
+    }
+    if let Some(e) = cur.take() {
+        let last = src.lines().count() as u32;
+        finish(e, last, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn finish(e: Entry, lno: u32, out: &mut Vec<Entry>) -> Result<(), (u32, String)> {
+    if e.file.is_empty() || e.kind.is_empty() || e.safety.is_empty() || e.count == 0 {
+        return Err((
+            lno,
+            "incomplete [[site]]: file, item, kind, count and safety are all required".into(),
+        ));
+    }
+    out.push(e);
+    Ok(())
+}
+
+/// Diff the observed sites against the checked-in ledger. Returns
+/// human-readable discrepancy messages (empty = in sync).
+pub fn diff(observed: &[Entry], ledger: &[Entry]) -> Vec<String> {
+    // Entries are unique per (file, item, kind, safety) on each side
+    // (aggregate() merged duplicates into `count`), so match on the full
+    // identity first and fall back to (file, item, kind) to tell a
+    // re-justified site apart from a brand-new one.
+    let same_item = |a: &Entry, b: &Entry| a.file == b.file && a.item == b.item && a.kind == b.kind;
+    let mut msgs = Vec::new();
+    for o in observed {
+        match ledger
+            .iter()
+            .find(|l| same_item(l, o) && l.safety == o.safety)
+        {
+            Some(l) if l.count == o.count => {}
+            Some(l) => msgs.push(format!(
+                "unsafe count for {} `{}` ({}) changed (ledger {}, source {})",
+                o.file, o.item, o.safety, l.count, o.count
+            )),
+            None if ledger.iter().any(|l| same_item(l, o)) => msgs.push(format!(
+                "SAFETY text for {} `{}` changed (source hash {} matches no ledger \
+                 entry for that item); re-review the justification and re-bless",
+                o.file, o.item, o.safety
+            )),
+            None => msgs.push(format!(
+                "unsafe {} at {} `{}` is not in UNSAFE_LEDGER.toml (new unsafe code \
+                 must be reviewed and blessed with --bless-ledger)",
+                o.kind, o.file, o.item
+            )),
+        }
+    }
+    for l in ledger {
+        if !observed.iter().any(|o| same_item(o, l)) {
+            msgs.push(format!(
+                "stale ledger entry: {} `{}` no longer contains unsafe code; re-bless",
+                l.file, l.item
+            ));
+        } else if !observed
+            .iter()
+            .any(|o| same_item(o, l) && o.safety == l.safety)
+        {
+            msgs.push(format!(
+                "stale ledger entry: {} `{}` ({}) matches no unsafe site with that \
+                 SAFETY text; re-bless",
+                l.file, l.item, l.safety
+            ));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(file: &str, item: &str, kind: &'static str, hash: Option<u64>) -> UnsafeSite {
+        UnsafeSite {
+            file: file.into(),
+            item: item.into(),
+            kind,
+            line: 1,
+            safety_hash: hash,
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse() {
+        let sites = vec![
+            site("b.rs", "g", "fn", Some(7)),
+            site("a.rs", "f", "block", Some(42)),
+            site("a.rs", "f", "block", Some(42)),
+        ];
+        let entries = aggregate(&sites);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].file, "a.rs");
+        assert_eq!(entries[0].count, 2);
+        let parsed = parse(&serialize(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn diff_reports_new_stale_and_changed() {
+        let obs = aggregate(&[
+            site("a.rs", "f", "block", Some(1)),
+            site("c.rs", "h", "fn", Some(3)),
+        ]);
+        let led = aggregate(&[
+            site("a.rs", "f", "block", Some(2)),
+            site("b.rs", "g", "fn", Some(9)),
+        ]);
+        let msgs = diff(&obs, &led);
+        // a.rs re-justified reports from both sides (changed + stale hash).
+        assert_eq!(msgs.len(), 4, "{msgs:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("SAFETY text") && m.contains("a.rs")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("stale") && m.contains("a.rs")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("not in UNSAFE_LEDGER") && m.contains("c.rs")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("stale") && m.contains("b.rs")));
+        assert!(diff(&obs, &obs).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("file = \"a.rs\"\n").is_err()); // key before header
+        assert!(parse("[[site]]\nfile = \"a.rs\"\n").is_err()); // incomplete
+        assert!(parse("[[site]]\nbogus = 3\n").is_err()); // unknown key
+        assert!(parse("[[site]]\nfile = a.rs\n").is_err()); // unquoted
+        assert!(parse("# just comments\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! A minimal hand-rolled Rust lexer — just enough syntax awareness to
+//! tell *code* apart from *strings and comments*, with line numbers.
+//!
+//! The whole point of `rendez_lint` is that a banned token inside a
+//! string literal, a raw string, a char literal or a (possibly nested)
+//! block comment must **never** produce a finding, while the same token
+//! in code always does. Everything this crate checks is built on the
+//! token stream this module emits, so that guarantee lives here:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* .. */ .. */`) become [`Comment`] records, not tokens;
+//! * string literals — plain (`"…"` with escapes), raw (`r"…"`,
+//!   `r#"…"#`, any hash count), byte (`b"…"`) and raw-byte (`br#"…"#`)
+//!   — become opaque [`TokKind::Str`] tokens;
+//! * char / byte-char literals are distinguished from lifetimes
+//!   (`'a'` vs `'a`), raw identifiers (`r#fn`) from raw strings
+//!   (`r#"…"#`).
+//!
+//! No `syn`, no external parser: the workspace builds fully offline and
+//! the subset above is all the rules need.
+
+/// One lexed token with its (1-based) source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What kind of token this is.
+    pub kind: TokKind,
+}
+
+/// Token classification. Literal *contents* are deliberately opaque —
+/// rules must not be able to match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `r#fn` → `fn`, …).
+    Ident(String),
+    /// A lifetime or loop label (`'a`, `'static`), name without the `'`.
+    Lifetime(String),
+    /// Any string literal: plain, raw, byte, raw-byte. Contents opaque.
+    Str,
+    /// A char or byte-char literal. Contents opaque.
+    Char,
+    /// A numeric literal; the raw text is kept so rules can spot float
+    /// literals (`0.0`) without parsing them.
+    Num(String),
+    /// Any other single non-whitespace character.
+    Punct(char),
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True iff this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True iff this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// One comment (line or block), with the span of source lines it covers
+/// and its text with comment markers stripped.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First source line (1-based) of the comment.
+    pub line_start: u32,
+    /// Last source line of the comment (equal to `line_start` for line
+    /// comments).
+    pub line_end: u32,
+    /// Comment text without the `//`/`/*` furniture.
+    pub text: String,
+    /// True for inner doc comments (`//!` / `/*!`) — module headers.
+    pub inner_doc: bool,
+}
+
+/// Per-line classification used by the SAFETY-comment adjacency walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    /// Only whitespace.
+    Blank,
+    /// Comment text and whitespace, no code.
+    Comment,
+    /// At least one code token starts on or spans this line.
+    Code,
+}
+
+/// The full result of lexing one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and whitespace removed).
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// `lines[l - 1]` classifies source line `l`.
+    pub lines: Vec<LineKind>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    has_code: Vec<bool>,
+    has_comment: Vec<bool>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn mark_code(&mut self, from_line: u32) {
+        for l in from_line..=self.line {
+            self.has_code[l as usize - 1] = true;
+        }
+    }
+
+    fn mark_comment(&mut self, from_line: u32) {
+        for l in from_line..=self.line {
+            self.has_comment[l as usize - 1] = true;
+        }
+    }
+
+    /// Consume a `"`-delimited string body (opening quote already
+    /// consumed), honouring `\` escapes.
+    fn eat_plain_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a raw string with `hashes` trailing `#`s (opening quote
+    /// already consumed).
+    fn eat_raw_string(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn eat_ident(&mut self, first: char) -> String {
+        let mut s = String::new();
+        s.push(first);
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            s.push(self.bump().unwrap());
+        }
+        s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Lex `src` into tokens, comments and per-line classifications.
+pub fn lex(src: &str) -> Lexed {
+    let nlines = src.split('\n').count().max(1);
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        has_code: vec![false; nlines],
+        has_comment: vec![false; nlines],
+    };
+    let mut toks = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let start_line = lx.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let inner_doc = lx.peek(0) == Some('!');
+            let mut text = String::new();
+            while matches!(lx.peek(0), Some(ch) if ch != '\n') {
+                text.push(lx.bump().unwrap());
+            }
+            lx.mark_comment(start_line);
+            comments.push(Comment {
+                line_start: start_line,
+                line_end: start_line,
+                text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                inner_doc,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let inner_doc = lx.peek(0) == Some('!');
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some(_), _) => text.push(lx.bump().unwrap()),
+                    (None, _) => break,
+                }
+            }
+            lx.mark_comment(start_line);
+            comments.push(Comment {
+                line_start: start_line,
+                line_end: lx.line,
+                text: text.trim_matches(['*', '!', ' ', '\n']).to_string(),
+                inner_doc,
+            });
+            continue;
+        }
+        // String / raw-string / byte-string prefixes, and identifiers.
+        if is_ident_start(c) {
+            // `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#`, `b"…"`, `b'…'`,
+            // and raw identifiers `r#ident`.
+            let raw_prefix = match (c, lx.peek(1)) {
+                ('r', Some('"')) => Some(1),
+                ('r', Some('#')) => Some(1),
+                ('b', Some('"')) => Some(1),
+                ('b', Some('\'')) => Some(1),
+                ('b', Some('r')) if matches!(lx.peek(2), Some('"') | Some('#')) => Some(2),
+                _ => None,
+            };
+            if let Some(skip) = raw_prefix {
+                let marker = lx.peek(skip);
+                if marker == Some('"') {
+                    for _ in 0..=skip {
+                        lx.bump();
+                    }
+                    if c == 'b' && skip == 1 {
+                        lx.eat_plain_string(); // b"…" has escapes
+                    } else {
+                        lx.eat_raw_string(0); // r"…", br"…": no escapes
+                    }
+                    toks.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Str,
+                    });
+                    lx.mark_code(start_line);
+                    continue;
+                }
+                if marker == Some('\'') {
+                    // b'…' byte char.
+                    lx.bump();
+                    lx.bump();
+                    eat_char_literal(&mut lx);
+                    toks.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Char,
+                    });
+                    lx.mark_code(start_line);
+                    continue;
+                }
+                if marker == Some('#') {
+                    // Count hashes; a quote after them = raw string,
+                    // anything else = raw identifier (`r#fn`).
+                    let mut h = 0;
+                    while lx.peek(skip + h) == Some('#') {
+                        h += 1;
+                    }
+                    if lx.peek(skip + h) == Some('"') {
+                        for _ in 0..skip + h + 1 {
+                            lx.bump();
+                        }
+                        lx.eat_raw_string(h);
+                        toks.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Str,
+                        });
+                        lx.mark_code(start_line);
+                        continue;
+                    }
+                    if skip == 1 && h == 1 && c == 'r' {
+                        lx.bump(); // r
+                        lx.bump(); // #
+                        let first = lx.bump().unwrap_or('_');
+                        let name = lx.eat_ident(first);
+                        toks.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Ident(name),
+                        });
+                        lx.mark_code(start_line);
+                        continue;
+                    }
+                }
+            }
+            let first = lx.bump().unwrap();
+            let name = lx.eat_ident(first);
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Ident(name),
+            });
+            lx.mark_code(start_line);
+            continue;
+        }
+        if c == '"' {
+            lx.bump();
+            lx.eat_plain_string();
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Str,
+            });
+            lx.mark_code(start_line);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a` not closed by a quote) vs char literal.
+            let is_lifetime = matches!(lx.peek(1), Some(n) if is_ident_start(n))
+                && lx.peek(2) != Some('\'')
+                || lx.peek(1) == Some('_');
+            lx.bump();
+            if is_lifetime {
+                let first = lx.bump().unwrap();
+                let name = lx.eat_ident(first);
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lifetime(name),
+                });
+            } else {
+                eat_char_literal(&mut lx);
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                });
+            }
+            lx.mark_code(start_line);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let first = lx.bump().unwrap();
+            let mut text = lx.eat_ident(first);
+            // `0.5` continues the literal; `0..5` does not.
+            if lx.peek(0) == Some('.') && matches!(lx.peek(1), Some(d) if d.is_ascii_digit()) {
+                text.push(lx.bump().unwrap());
+                while matches!(lx.peek(0), Some(d) if d.is_alphanumeric() || d == '_') {
+                    text.push(lx.bump().unwrap());
+                }
+            }
+            toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Num(text),
+            });
+            lx.mark_code(start_line);
+            continue;
+        }
+        // Any other punctuation.
+        lx.bump();
+        toks.push(Tok {
+            line: start_line,
+            kind: TokKind::Punct(c),
+        });
+        lx.mark_code(start_line);
+    }
+
+    let lines = lx
+        .has_code
+        .iter()
+        .zip(&lx.has_comment)
+        .map(|(&code, &comment)| {
+            if code {
+                LineKind::Code
+            } else if comment {
+                LineKind::Comment
+            } else {
+                LineKind::Blank
+            }
+        })
+        .collect();
+    Lexed {
+        toks,
+        comments,
+        lines,
+    }
+}
+
+/// Consume a char/byte-char body (opening `'` consumed), honouring `\`
+/// escapes (`'\''`, `'\u{7f}'`, …).
+fn eat_char_literal(lx: &mut Lexer) {
+    while let Some(c) = lx.bump() {
+        match c {
+            '\\' => {
+                lx.bump();
+            }
+            '\'' => break,
+            '\n' => break, // unterminated; don't swallow the file
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "unsafe HashMap";"#), vec!["let", "x"]);
+        assert_eq!(idents(r##"let x = r#"Instant::now"#;"##), vec!["let", "x"]);
+        assert_eq!(idents(r#"let x = b"thread_rng";"#), vec!["let", "x"]);
+        assert_eq!(
+            idents("let x = br#\"unsafe\"#;let y = 0;"),
+            vec!["let", "x", "let", "y"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_terminate_correctly() {
+        let src = "let a = r###\"one \"## two\"###; let HashMap = 1;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "HashMap"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let lexed = lex("a /* x /* unsafe */ y */ b");
+        assert_eq!(idents("a /* x /* unsafe */ y */ b"), vec!["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("unsafe"));
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_doc_flag() {
+        let lexed = lex("//! lint: deterministic\n// SAFETY: fine\nlet x = 1;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].inner_doc);
+        assert_eq!(lexed.comments[0].text, "lint: deterministic");
+        assert!(!lexed.comments[1].inner_doc);
+        assert_eq!(lexed.comments[1].text, "SAFETY: fine");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'static str) { let c = 'x'; let d = '\\''; }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "static"]);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn numbers_absorb_float_dots_but_not_ranges() {
+        let nums: Vec<String> = lex("a.fold(0.0, f); for i in 0..10 {}")
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0.0", "0", "10"]);
+    }
+
+    #[test]
+    fn line_kinds_classify_blank_comment_code() {
+        let lexed = lex("let a = 1;\n\n// pure comment\nlet b = 2; // trailing\n");
+        assert_eq!(lexed.lines[0], LineKind::Code);
+        assert_eq!(lexed.lines[1], LineKind::Blank);
+        assert_eq!(lexed.lines[2], LineKind::Comment);
+        assert_eq!(lexed.lines[3], LineKind::Code);
+    }
+
+    #[test]
+    fn multiline_strings_mark_all_spanned_lines_as_code() {
+        let lexed = lex("let s = \"first\nsecond\nthird\";\nlet t = 1;");
+        assert!(lexed.lines[..4].iter().all(|k| *k == LineKind::Code));
+    }
+
+    #[test]
+    fn tokens_carry_their_starting_line() {
+        let lexed = lex("one\ntwo three\n\nfour");
+        let at: Vec<(u32, String)> = lexed
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some((t.line, s)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            at,
+            vec![
+                (1, "one".into()),
+                (2, "two".into()),
+                (2, "three".into()),
+                (4, "four".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! `rendez-lint` CLI — see the crate docs for the rule catalogue.
+//!
+//! Exit codes: `0` clean, `1` findings (or self-test failure), `2`
+//! usage / I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rendez_lint::rules::{lint_source, RULES};
+use rendez_lint::{bless_ledger, check_ledger, report, run_workspace, selftest};
+
+const USAGE: &str = "\
+rendez-lint — workspace determinism-and-unsafety auditor
+
+USAGE:
+    rendez-lint --workspace [--root PATH] [--json] [--bless-ledger]
+    rendez-lint --self-test
+    rendez-lint --fixture-violations [--json]
+    rendez-lint --rules
+    rendez-lint --help
+
+MODES:
+    --workspace           lint every .rs file under the root and diff the
+                          unsafe sites against UNSAFE_LEDGER.toml
+    --self-test           run the rules against embedded fixtures with
+                          known findings; fails on any false +/-
+    --fixture-violations  lint the embedded violation fixture and report
+                          its findings (always exits 1 — CI uses this to
+                          prove the failure path works)
+    --rules               print the rule catalogue
+
+OPTIONS:
+    --root PATH           workspace root (default: .)
+    --json                machine-readable output
+    --bless-ledger        regenerate UNSAFE_LEDGER.toml from the current
+                          sources (refuses uncovered unsafe sites)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let json = has("--json");
+
+    if has("--help") || has("-h") || args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    }
+
+    if has("--rules") {
+        for (id, summary) in RULES {
+            println!("{id:<22} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if has("--self-test") {
+        return match selftest::run() {
+            Ok(report) => {
+                print!("{report}");
+                println!("rendez-lint self-test: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(fails) => {
+                for f in &fails {
+                    eprintln!("self-test FAIL: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if has("--fixture-violations") {
+        let fl = lint_source(selftest::VIOLATIONS.0, selftest::VIOLATIONS.1);
+        let out = if json {
+            report::json(&fl.findings, 1, fl.allows_used)
+        } else {
+            report::human(&fl.findings, 1, fl.allows_used)
+        };
+        print!("{out}");
+        // This mode exists to prove the failure path: always red.
+        return ExitCode::FAILURE;
+    }
+
+    if !has("--workspace") {
+        eprintln!("unknown mode; try --help");
+        return ExitCode::from(2);
+    }
+
+    let root = match args.iter().position(|a| a == "--root") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => PathBuf::from(p),
+            None => {
+                eprintln!("--root needs a path");
+                return ExitCode::from(2);
+            }
+        },
+        None => PathBuf::from("."),
+    };
+
+    let mut ws = match run_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("rendez-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if has("--bless-ledger") {
+        return match bless_ledger(&root, &ws) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rendez-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    check_ledger(&root, &mut ws);
+    let out = if json {
+        report::json(&ws.findings, ws.files_scanned, ws.allows_used)
+    } else {
+        report::human(&ws.findings, ws.files_scanned, ws.allows_used)
+    };
+    print!("{out}");
+    if ws.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

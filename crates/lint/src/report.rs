@@ -1,0 +1,89 @@
+//! Finding output: human one-per-line, or machine-readable JSON
+//! (hand-rolled — the workspace is offline, no serde).
+
+use crate::rules::Finding;
+
+/// Human-readable report: `file:line: [rule] message`, one per line,
+/// followed by a summary line.
+pub fn human(findings: &[Finding], files_scanned: usize, allows_used: usize) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.msg));
+    }
+    s.push_str(&format!(
+        "rendez-lint: {} finding(s), {} file(s) scanned, {} allow(s) used\n",
+        findings.len(),
+        files_scanned,
+        allows_used
+    ));
+    s
+}
+
+/// JSON report: `{"findings": [...], "files_scanned": N, "allows_used": N, "ok": bool}`.
+pub fn json(findings: &[Finding], files_scanned: usize, allows_used: usize) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"msg\":{}}}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule),
+            escape(&f.msg)
+        ));
+    }
+    s.push_str(&format!(
+        "],\"files_scanned\":{},\"allows_used\":{},\"ok\":{}}}",
+        files_scanned,
+        allows_used,
+        findings.is_empty()
+    ));
+    s
+}
+
+/// Minimal JSON string escape.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_reports_ok_flag() {
+        let f = vec![Finding {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: "det-clock",
+            msg: "line1\nline2".into(),
+        }];
+        let j = json(&f, 5, 1);
+        assert!(j.contains("\"file\":\"a\\\"b.rs\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"ok\":false"));
+        assert!(json(&[], 5, 0).contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn human_report_has_summary_line() {
+        let h = human(&[], 12, 2);
+        assert!(h.contains("0 finding(s), 12 file(s) scanned, 2 allow(s) used"));
+    }
+}

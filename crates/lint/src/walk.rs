@@ -1,0 +1,37 @@
+//! Deterministic workspace walker: every `.rs` file under the root,
+//! sorted by relative path, skipping build output (`target/`), VCS
+//! metadata (`.git/`) and the lint crate's own violation fixtures
+//! (`fixtures/` — those *must* contain findings).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Collect workspace-relative paths of all `.rs` files under `root`,
+/// sorted for deterministic finding order.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    descend(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}

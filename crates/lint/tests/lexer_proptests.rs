@@ -1,0 +1,90 @@
+//! Property tests for the mini-lexer through the rule engine: a banned
+//! token hidden inside a string literal, raw string, or comment must
+//! NEVER produce a finding, while the same token in code position must
+//! ALWAYS produce one.
+
+use proptest::prelude::*;
+use rendez_lint::rules::lint_source;
+
+const DET: &str = "//! lint: deterministic\n";
+
+/// Banned token → the rule it must trigger in code position.
+const BANNED: &[(&str, &str)] = &[
+    ("HashMap", "det-collection"),
+    ("HashSet", "det-collection"),
+    ("Instant", "det-clock"),
+    ("SystemTime", "det-clock"),
+    ("thread_rng", "det-entropy"),
+    ("OsRng", "det-entropy"),
+    ("unsafe", "safety-comment"),
+];
+
+/// Random lowercase-ascii padding word — safe inside every literal and
+/// comment form (no quotes, hashes, or comment terminators).
+fn word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26u8, 0usize..12)
+        .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Wrap `tok` in hiding context `ctx` (a statement/line for a fn body).
+fn hide(ctx: usize, tok: &str, pad: &str, pad2: &str) -> String {
+    match ctx {
+        0 => format!("let s = \"{pad} {tok} {pad2}\";"),
+        1 => format!("let s = r#\"{pad} {tok} {pad2}\"#;"),
+        2 => format!("/* {pad} /* nested {tok} */ {pad2} */"),
+        _ => format!("// {pad} {tok} {pad2}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hidden tokens: zero findings, zero unsafe sites, regardless of
+    /// padding or context.
+    #[test]
+    fn tokens_inside_literals_and_comments_never_fire(
+        idx in 0usize..7,
+        ctx in 0usize..4,
+        pad in word(),
+        pad2 in word(),
+    ) {
+        let (tok, _) = BANNED[idx];
+        let body = hide(ctx, tok, &pad, &pad2);
+        let src = format!("{DET}fn f() {{\n    {body}\n    let _k = 0;\n}}\n");
+        let fl = lint_source("crates/runtime/src/hidden.rs", &src);
+        prop_assert!(fl.findings.is_empty(), "{} in ctx {} fired: {:?}", tok, ctx, fl.findings);
+        prop_assert!(fl.sites.is_empty(), "{} in ctx {} produced a site", tok, ctx);
+    }
+
+    /// The same tokens in code position: the mapped rule always fires,
+    /// whatever identifier noise surrounds it.
+    #[test]
+    fn tokens_in_code_always_fire(idx in 0usize..7, pad in word()) {
+        let (tok, rule) = BANNED[idx];
+        let stmt = if tok == "unsafe" {
+            "let _v = unsafe { core::ptr::read(p) };".to_string()
+        } else {
+            format!("let _v{pad} = {tok}::new();")
+        };
+        let src = format!("{DET}fn f{pad}(p: *const u8) {{\n    {stmt}\n}}\n");
+        let fl = lint_source("crates/runtime/src/code.rs", &src);
+        prop_assert!(
+            fl.findings.iter().any(|f| f.rule == rule),
+            "{} did not trigger {}: {:?}", tok, rule, fl.findings
+        );
+    }
+
+    /// Raw strings with arbitrary hash depth terminate exactly at the
+    /// matching closer: everything inside stays hidden, code after the
+    /// closer is scanned again.
+    #[test]
+    fn raw_string_hash_depth_roundtrip(hashes in 1usize..6, pad in word()) {
+        let h = "#".repeat(hashes);
+        let src = format!(
+            "{DET}fn f() {{\n    let s = r{h}\"{pad} thread_rng() Instant\"{h};\n    let m = HashMap::new();\n}}\n"
+        );
+        let fl = lint_source("crates/runtime/src/raw.rs", &src);
+        let rules: Vec<&str> = fl.findings.iter().map(|f| f.rule).collect();
+        prop_assert_eq!(rules, vec!["det-collection"], "hashes={}", hashes);
+    }
+}

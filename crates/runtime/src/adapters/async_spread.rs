@@ -21,6 +21,8 @@
 //! [`Scenario`](crate::Scenario) builder rejects them under
 //! [`TimeModel::Continuous`](crate::scenario::TimeModel) with a typed
 //! error.
+//!
+//! lint: deterministic
 
 use crate::arena::STASH_REQUESTS;
 use crate::exec::TICKS_PER_SEC;

@@ -16,6 +16,8 @@
 //! | [`RtPull`] | 3 | uninformed request | informed answer **all** | answers land |
 //! | [`RtFairPull`] | 3 | uninformed request | informed answer **one** | answers land |
 //! | [`RtFairPushPull`] | 3 | push + request | rumor lands; answer one | answers land |
+//!
+//! lint: deterministic
 
 use super::spread::{
     observe_spread, spread_digest_obs, spread_finalize, GossipMsg, SpreadNode, SpreadRunSummary,

@@ -25,6 +25,8 @@
 //! [`RoundObs`] date lane, one entry per matchmaking round — so node
 //! count no longer multiplies allocations, and the coordinator never
 //! scans the node slice between rounds.
+//!
+//! lint: deterministic
 
 use crate::arena::{STASH_OFFERS, STASH_REQUESTS};
 use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};

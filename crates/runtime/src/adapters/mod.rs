@@ -19,6 +19,8 @@
 //! executor, with asynchronous PUSH&PULL as the flagship workload.
 //! Prefer constructing them through the [`Scenario`](crate::Scenario)
 //! builder, which validates sizes up front and picks the executor.
+//!
+//! lint: deterministic
 
 mod async_spread;
 mod baselines;

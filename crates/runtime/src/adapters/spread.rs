@@ -14,6 +14,8 @@
 //! `rendez_gossip::protocols`. [`SpreadRunSummary::cycles`] reports the
 //! legacy-equivalent round count, which is what the KS-agreement tests in
 //! `tests/scenario_api.rs` pin to the centralized oracle.
+//!
+//! lint: deterministic
 
 use crate::arena::{STASH_OFFERS, STASH_REQUESTS};
 use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};

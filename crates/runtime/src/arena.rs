@@ -40,6 +40,8 @@
 //! a control message off its phase, the message is counted as delivered
 //! but its stash entry expires unread — deterministically, on every
 //! executor.
+//!
+//! lint: deterministic
 
 use rand::rngs::SmallRng;
 use rendez_core::matching::partial_shuffle;

@@ -23,6 +23,8 @@
 //! are the protocol's concern, exactly as in `rendez_sim`'s schedule).
 //!
 //! [`ChurnSchedule`]: rendez_sim::ChurnSchedule
+//!
+//! lint: deterministic
 
 use crate::conditions::to_unit;
 use rendez_sim::{derive_seed, NodeId, SplitMix64};

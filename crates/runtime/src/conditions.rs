@@ -8,6 +8,8 @@
 //! is consumed. That keeps conditioned runs bit-for-bit identical across
 //! executors (sequential, sharded, any shard count) and independent of
 //! the order in which the coordinator happens to scan the send batch.
+//!
+//! lint: deterministic
 
 use crate::proto::Envelope;
 use rendez_sim::{derive_seed, SplitMix64};

@@ -1,4 +1,12 @@
 //! Channel conditioning as an executor wrapper.
+//!
+//! Determinism guarantee: exactly as deterministic as the wrapped
+//! executor — message fates are a pure function of `(seed, src, seq)`,
+//! so conditioning changes *which* messages survive, never the order
+//! they are observed in, and the digest trace stays bit-identical
+//! across executor choices.
+//!
+//! lint: deterministic
 
 use super::Executor;
 use crate::conditions::Conditions;

@@ -39,6 +39,8 @@
 //! executor runs on the calling thread; lanes exist to pin the
 //! partition-invariance that a future parallel speculative variant
 //! would need, not to spread load.
+//!
+//! lint: deterministic
 
 use crate::arena::NodeArena;
 use crate::conditions::to_unit;

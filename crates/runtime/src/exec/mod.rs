@@ -24,6 +24,8 @@
 //! shard worker threads parked between runs:
 //! [`ShardedExecutor::run_in`] borrows the pool instead of spawning
 //! fresh threads, with a bit-identical report.
+//!
+//! lint: deterministic
 
 mod conditioned;
 mod event;

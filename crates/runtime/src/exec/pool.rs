@@ -37,6 +37,8 @@
 //! per scope — `run_in` caps its shard count accordingly, which is free
 //! because the determinism contract makes the report independent of the
 //! shard count.
+//!
+//! lint: deterministic
 
 use std::any::Any;
 use std::collections::VecDeque;

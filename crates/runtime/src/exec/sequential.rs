@@ -1,4 +1,11 @@
 //! The single-threaded reference executor.
+//!
+//! Determinism guarantee: the trace is a pure function of
+//! `(protocol, n, seed, conditions)` — this executor *defines* the
+//! canonical digest trace that every other executor must reproduce
+//! bit-for-bit at any shard, lane, or pool count.
+//!
+//! lint: deterministic
 
 use super::{schedule_sends, tally_node_bytes, validate_run, Executor};
 use crate::arena::NodeArena;

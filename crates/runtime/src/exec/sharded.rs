@@ -81,6 +81,14 @@
 //! Chunks are disjoint by construction (`base..base + len` with
 //! non-overlapping ranges), every pointer derives from the single
 //! original allocation, and the owning vectors outlive the worker scope.
+//!
+//! Every `unsafe` site in this file (and in `pool.rs`) is enumerated in
+//! the workspace-root `UNSAFE_LEDGER.toml`, keyed by the hash of its
+//! covering `// SAFETY:` comment; `rendez-lint --workspace` (the CI
+//! `lint` job) fails on any unsafe block this ledger does not bless, so
+//! adding or re-justifying unsafe code is always a reviewed diff.
+//!
+//! lint: deterministic
 
 use super::pool::{PoolScope, WorkerPool};
 use super::{tally_node_bytes, validate_run, Executor};
@@ -715,8 +723,11 @@ where
                 digests.push(proto_mut.digest_obs(obs, round));
                 proto_mut.finalize_obs(obs, round)
             }
-            // Legacy path: whole-slice scan on the coordinator.
             None => {
+                // Legacy path: whole-slice scan on the coordinator.
+                // SAFETY: same parked-worker window as the `proto_ptr`
+                // view above — every worker is blocked on `recv`, so no
+                // shard write aliases this read of the node slice.
                 let nodes_view: &[P::Node] = unsafe { std::slice::from_raw_parts(nodes_ptr, n) };
                 digests.push(proto_mut.digest(nodes_view, round));
                 proto_mut.finalize(nodes_view, round)

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 //! # rendez-runtime — sans-I/O round runtime with pluggable executors
@@ -85,6 +86,8 @@
 //!
 //! The lower-level pieces stay public for custom protocols: implement
 //! [`RoundProtocol`] and hand it to any [`Executor`] directly.
+//!
+//! lint: deterministic
 
 pub mod adapters;
 pub mod arena;

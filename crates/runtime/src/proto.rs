@@ -15,6 +15,8 @@
 //! private RNG stream, an executor may run disjoint node sets on different
 //! threads without changing observable behaviour — the determinism
 //! contract in the [crate docs](crate) makes this precise.
+//!
+//! lint: deterministic
 
 use crate::arena::NodeArena;
 use rand::rngs::SmallRng;

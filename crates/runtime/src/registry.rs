@@ -7,6 +7,8 @@
 //! on. String keys match the legacy `rendez_gossip` legend names, so
 //! experiment tables stay comparable across the centralized and runtime
 //! paths.
+//!
+//! lint: deterministic
 
 /// A workload the runtime can host, selected via
 /// [`Scenario::protocol`](crate::Scenario::protocol).

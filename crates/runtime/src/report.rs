@@ -1,4 +1,6 @@
 //! Run configuration and the executor-independent run report.
+//!
+//! lint: deterministic
 
 use crate::churn::Churn;
 use crate::conditions::Conditions;

@@ -57,6 +57,8 @@
 //! The [`sharded`](Scenario::sharded) / [`sequential`](Scenario::sequential)
 //! conveniences remain first-class sugar for
 //! `time_model(TimeModel::Rounds(...))`.
+//!
+//! lint: deterministic
 
 use crate::adapters::{
     AsyncSpread, AsyncSpreadSummary, DatingRunSummary, RtDatingSpread, RtFairPull, RtFairPushPull,

@@ -279,16 +279,19 @@ fn time_model_is_the_one_axis_for_executor_choice() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_executor_shims_still_drive_time_model() {
+fn sharded_sugar_is_equivalent_to_explicit_time_model() {
+    // The deprecated `executor()`/`auto_executor()` shims are pinned by
+    // in-file tests next to their definitions in `scenario.rs`; external
+    // code (this file included) is swept onto `time_model()` and kept
+    // clean by rendez-lint's deprecated-shim rule.
     let n = 400;
     let base = Scenario::new(n).protocol(Spreader::Push);
-    let via_shim = base.clone().executor(ExecChoice::Sharded(2)).run(4);
+    let via_sugar = base.clone().sharded(2).run(4);
     let via_axis = base
         .time_model(TimeModel::Rounds(ExecChoice::Sharded(2)))
         .run(4);
     assert_eq!(
-        via_shim.expect("valid").digests,
+        via_sugar.expect("valid").digests,
         via_axis.expect("valid").digests
     );
 }
