@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the cache-resident message plane: SoA envelope
+//! batches, the hoisted fate kernel, and the end-to-end delivery path.
+//!
+//! Three groups:
+//!
+//! * `emit` — filling an [`EnvBatch`] through run-length `push` vs the
+//!   legacy `Vec<Envelope>` stream, and reading it back in emission
+//!   order (`iter` reconstructs seqs from run headers);
+//! * `fate` — per-message [`Conditions::fate`] vs the hoisted
+//!   [`Conditions::fate_run`] kernel that derives the per-source seed
+//!   once per run;
+//! * `deliver` — a full dating run on the sequential executor, which is
+//!   dominated by the route → slot-row → counting-delivery pass.
+//!
+//! Set `RENDEZ_BENCH_QUICK=1` for the CI smoke mode (smallest size,
+//! few samples) that keeps the harness from bit-rotting without
+//! spending CI minutes on statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rendez_core::{Platform, UniformSelector};
+use rendez_runtime::{
+    Conditions, EnvBatch, Envelope, Executor, RunConfig, RuntimeDating, SequentialExecutor,
+};
+use rendez_sim::NodeId;
+
+const CYCLES: u64 = 3;
+
+/// Synthetic emission trace: `senders` sources each emit `per_src`
+/// messages in one burst (the executor phase pattern), destinations
+/// striding over the id space.
+fn emission(senders: usize, per_src: usize) -> Vec<Envelope<u64>> {
+    let n = senders * 4;
+    let mut out = Vec::with_capacity(senders * per_src);
+    for s in 0..senders {
+        for k in 0..per_src {
+            out.push(Envelope {
+                src: NodeId(s as u32),
+                dst: NodeId(((s * 7 + k * 13) % n) as u32),
+                seq: k as u64,
+                msg: (s * per_src + k) as u64,
+            });
+        }
+    }
+    out
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let quick = std::env::var("RENDEZ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let trace = emission(1_000, 16);
+    let mut g = c.benchmark_group("delivery_kernel/emit");
+    g.sample_size(if quick { 3 } else { 20 });
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function(BenchmarkId::new("envbatch_push", ""), |b| {
+        let mut batch = EnvBatch::new();
+        b.iter(|| {
+            batch.clear();
+            for e in &trace {
+                batch.push(e.src, e.seq, e.dst, e.msg);
+            }
+            batch.len()
+        });
+    });
+    g.bench_function(BenchmarkId::new("legacy_vec_push", ""), |b| {
+        let mut envs: Vec<Envelope<u64>> = Vec::new();
+        b.iter(|| {
+            envs.clear();
+            envs.extend(trace.iter().cloned());
+            envs.len()
+        });
+    });
+    g.bench_function(BenchmarkId::new("envbatch_iter", ""), |b| {
+        let batch = EnvBatch::from_envelopes(&trace);
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|(_, seq, dst, msg)| seq ^ dst.0 as u64 ^ *msg)
+                .fold(0u64, u64::wrapping_add)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fate(c: &mut Criterion) {
+    let quick = std::env::var("RENDEZ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let trace = emission(1_000, 16);
+    let cond = Conditions::with_loss(0.05);
+    let seed = 0x5CA1E;
+    let mut g = c.benchmark_group("delivery_kernel/fate");
+    g.sample_size(if quick { 3 } else { 20 });
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function(BenchmarkId::new("per_envelope", ""), |b| {
+        b.iter(|| {
+            trace
+                .iter()
+                .filter_map(|e| cond.fate(seed, e))
+                .fold(0u64, u64::wrapping_add)
+        });
+    });
+    g.bench_function(BenchmarkId::new("hoisted_run", ""), |b| {
+        let batch = EnvBatch::from_envelopes(&trace);
+        b.iter(|| {
+            let mut acc = 0u64;
+            batch.for_each_run(|run, _dsts, msgs| {
+                let fr = cond.fate_run(seed, run.src);
+                for k in 0..msgs.len() as u64 {
+                    if let Some(l) = fr.fate(run.first_seq + k) {
+                        acc = acc.wrapping_add(l);
+                    }
+                }
+            });
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_deliver(c: &mut Criterion) {
+    let quick = std::env::var("RENDEZ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let n: usize = if quick { 1_000 } else { 10_000 };
+    let mut g = c.benchmark_group("delivery_kernel/deliver");
+    g.sample_size(if quick { 3 } else { 10 });
+    g.throughput(Throughput::Elements(CYCLES * n as u64));
+    g.bench_with_input(BenchmarkId::new("dating_sequential", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut proto = RuntimeDating::new(Platform::unit(n), UniformSelector::new(n), CYCLES);
+            let rounds = proto.total_rounds();
+            SequentialExecutor
+                .run(&mut proto, n, &RunConfig::seeded(1).max_rounds(rounds))
+                .expect_output()
+                .total_dates()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_fate, bench_deliver);
+criterion_main!(benches);

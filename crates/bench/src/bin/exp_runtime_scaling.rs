@@ -35,8 +35,14 @@
 //! Usage: `exp_runtime_scaling [--quick] [--n N] [--seed S]
 //!         [--shards 2,4,8] [--gate-n N] [--bench-out PATH]
 //!         [--n-series] [--series-n 100000,1000000]
-//!         [--series-shards 1,2,8]
+//!         [--series-shards 1,2,8] [--series-floor MSGS_PER_SEC]
 //!         [--time-model continuous] [--async-n N] [--csv]`
+//!
+//! `--series-floor` turns the n-scaling series into a perf regression
+//! gate: every regenerated scaling point must sustain at least the
+//! given msgs/sec (CI pins this to the pre-refactor throughput of the
+//! message plane at the smoke-test `n`, so a hot-path regression fails
+//! the job instead of silently shipping).
 //!
 //! Defaults run the paper-scale `n = 10⁵` spread; `--quick` drops to
 //! `n = 10⁴` for CI.
@@ -291,6 +297,35 @@ fn main() {
             }
         }
         st.print();
+
+        let floor = args.get_f64("series-floor", 0.0);
+        if floor > 0.0 {
+            let slowest = scaling_records
+                .iter()
+                .min_by(|a, b| a.msgs_per_sec().total_cmp(&b.msgs_per_sec()));
+            match slowest {
+                None => println!("# series floor: no scaling points ran (all skipped)"),
+                Some(rec) => {
+                    println!(
+                        "# series floor: slowest point n={} shards={} at {:.2} Mmsg/s \
+                         (floor {:.2} Mmsg/s)",
+                        rec.n,
+                        rec.shards,
+                        rec.msgs_per_sec() / 1e6,
+                        floor / 1e6
+                    );
+                    assert!(
+                        rec.msgs_per_sec() >= floor,
+                        "n-scaling throughput regression: n={} shards={} ran at {:.0} msgs/s, \
+                         below --series-floor {:.0}",
+                        rec.n,
+                        rec.shards,
+                        rec.msgs_per_sec(),
+                        floor
+                    );
+                }
+            }
+        }
     }
 
     // ---- Async determinism gate: the continuous-time executor at

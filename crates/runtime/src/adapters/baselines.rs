@@ -129,6 +129,19 @@ impl RoundProtocol for RtPush {
         }
     }
 
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        _srcs: &[NodeId],
+        msgs: &[GossipMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        _out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        node.pending |= msgs.contains(&GossipMsg::Rumor);
+    }
+
     spread_observation!(Self::CYCLE);
 }
 
@@ -204,6 +217,33 @@ impl RoundProtocol for RtPull {
                 }
             }
         }
+    }
+
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[GossipMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        // `informed` cannot change mid-run; answers go out in arrival
+        // order, exactly like the per-message hook.
+        let informed = node.informed;
+        let mut pending = node.pending;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                GossipMsg::Rumor => pending = true,
+                GossipMsg::PullRequest => {
+                    if informed {
+                        out.send(*from, GossipMsg::Rumor);
+                    }
+                }
+            }
+        }
+        node.pending = pending;
     }
 
     spread_observation!(Self::CYCLE);
@@ -294,6 +334,26 @@ impl RoundProtocol for RtFairPull {
         }
     }
 
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[GossipMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        let mut pending = node.pending;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                GossipMsg::Rumor => pending = true,
+                GossipMsg::PullRequest => out.stash(STASH_REQUESTS, *from),
+            }
+        }
+        node.pending = pending;
+    }
+
     fn on_round_end(
         &self,
         node: &mut SpreadNode,
@@ -379,6 +439,26 @@ impl RoundProtocol for RtFairPushPull {
             GossipMsg::Rumor => node.pending = true,
             GossipMsg::PullRequest => out.stash(STASH_REQUESTS, from),
         }
+    }
+
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[GossipMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        let mut pending = node.pending;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                GossipMsg::Rumor => pending = true,
+                GossipMsg::PullRequest => out.stash(STASH_REQUESTS, *from),
+            }
+        }
+        node.pending = pending;
     }
 
     fn on_round_end(

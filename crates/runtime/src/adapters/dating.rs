@@ -187,6 +187,39 @@ impl<S: NodeSelector> RoundProtocol for RuntimeDating<S> {
         }
     }
 
+    fn on_receive_run(
+        &self,
+        node: &mut DatingNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[DatingMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingMsg>,
+    ) {
+        // Same transitions as the per-message hook, in the same order
+        // (no RNG is consumed here); the counters accumulate in locals
+        // and write back once per run instead of once per message.
+        let mut answers = 0u64;
+        let mut payloads = 0u64;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                DatingMsg::Offer => out.stash(STASH_OFFERS, *from),
+                DatingMsg::Request => out.stash(STASH_REQUESTS, *from),
+                DatingMsg::AnswerOffer(partner) => {
+                    answers += 1;
+                    if let Some(p) = partner {
+                        out.send(*p, DatingMsg::Payload);
+                    }
+                }
+                DatingMsg::AnswerRequest(_) => answers += 1,
+                DatingMsg::Payload => payloads += 1,
+            }
+        }
+        node.answers_received += answers;
+        node.payloads_received += payloads;
+    }
+
     fn on_round_end(
         &self,
         node: &mut DatingNode,

@@ -234,6 +234,34 @@ impl RoundProtocol for RtPushPull {
         }
     }
 
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[GossipMsg],
+        _round: u64,
+        _rng: &mut SmallRng,
+        out: &mut Outbox<'_, GossipMsg>,
+    ) {
+        // Observably identical to the per-message hook: `informed` cannot
+        // change mid-run (only `pending` is written), so it is hoisted;
+        // answers go out in arrival order.
+        let informed = node.informed;
+        let mut pending = node.pending;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                GossipMsg::Rumor => pending = true,
+                GossipMsg::PullRequest => {
+                    if informed {
+                        out.send(*from, GossipMsg::Rumor);
+                    }
+                }
+            }
+        }
+        node.pending = pending;
+    }
+
     fn finalize(&mut self, nodes: &[SpreadNode], round: u64) -> Verdict<SpreadRunSummary> {
         let obs = observe_nodes(&*self, 0, nodes, round);
         self.finalize_obs(&obs, round)
@@ -406,6 +434,50 @@ impl<S: NodeSelector> RoundProtocol for RtDatingSpread<S> {
                 }
             }
         }
+    }
+
+    fn on_receive_run(
+        &self,
+        node: &mut SpreadNode,
+        _id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[DatingSpreadMsg],
+        _round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, DatingSpreadMsg>,
+    ) {
+        // `informed` is never written during delivery, so it is hoisted;
+        // the lossy branch must draw from `rng` exactly once per matched
+        // answer, in arrival order, to keep the node's private stream
+        // bit-identical to the per-message hook.
+        let my_informed = node.informed;
+        let mut pending = node.pending;
+        for (from, msg) in srcs.iter().zip(msgs) {
+            match msg {
+                DatingSpreadMsg::Offer => out.stash(STASH_OFFERS, *from),
+                DatingSpreadMsg::Request => out.stash(STASH_REQUESTS, *from),
+                DatingSpreadMsg::AnswerOffer(partner) => {
+                    if let Some(p) = partner {
+                        if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+                            continue;
+                        }
+                        out.send(
+                            *p,
+                            DatingSpreadMsg::Payload {
+                                informed: my_informed,
+                            },
+                        );
+                    }
+                }
+                DatingSpreadMsg::AnswerRequest(_) => {}
+                DatingSpreadMsg::Payload { informed } => {
+                    if *informed {
+                        pending = true;
+                    }
+                }
+            }
+        }
+        node.pending = pending;
     }
 
     fn on_round_end(

@@ -1,0 +1,632 @@
+//! The cache-resident message plane: SoA envelope batches with
+//! run-length source headers, plus the shared route/deliver kernels
+//! every round executor is built on.
+//!
+//! An [`EnvBatch`] replaces `Vec<Envelope<M>>` on the hot path. Instead
+//! of one 24-byte-plus-payload AoS record per message, it keeps two flat
+//! arrays — `dst: Vec<NodeId>` and `msg: Vec<M>` — plus a run-length
+//! header list ([`SrcRun`]): `(src, first_seq, len)` for each maximal
+//! stretch of consecutive messages that share a sender. `src` and `seq`
+//! are stored once per run instead of once per message, which is ~16
+//! bytes/message saved on the workloads that matter (small `Copy`
+//! payloads, runs of a node's whole phase emission).
+//!
+//! # Batch invariants
+//!
+//! 1. **Emission batches** (filled through [`EnvBatch::push`], i.e. by
+//!    [`Outbox::send`](crate::Outbox::send)) are exact: message `k` of a
+//!    run has sequence number `first_seq + k`. This relies on the
+//!    runtime invariant that a sender's `seq` counter only advances when
+//!    that sender emits, so consecutive sends of one node are always
+//!    seq-contiguous — [`push`](EnvBatch::push) starts a new run
+//!    otherwise. The full `(src, dst, seq, msg)` stream is recoverable
+//!    bit-for-bit ([`EnvBatch::to_envelopes`], property-tested in
+//!    `tests/batch_roundtrip.rs`).
+//! 2. **Routed batches** (filled through [`EnvBatch::push_grouped`],
+//!    i.e. by `route_sends` after fate was decided) drop per-message
+//!    sequence numbers entirely: runs merge on sender identity alone and
+//!    `first_seq` is not meaningful. Nothing downstream needs `seq`
+//!    anymore — fate already ran, and delivery order within a
+//!    destination only needs the *relative* order the batch already
+//!    stores (see invariant 3).
+//! 3. **Order.** A routed batch is `(src, seq)`-sorted: `route_sends`
+//!    walks senders in ascending id order and each sender's messages in
+//!    seq order. Concatenating routed batches from contiguous shards in
+//!    shard order therefore yields the sequential emission order, and
+//!    one stable counting pass by destination (`order_deliveries`)
+//!    reproduces the canonical `(dst, src, seq)` delivery order with no
+//!    comparison sort. Buckets that accumulated more than one send round
+//!    fall back to a stable `(dst, src)` sort — stability plus
+//!    round-ordered segments again equals `(dst, src, seq)`.
+//!
+//! lint: deterministic
+
+use crate::conditions::Conditions;
+use crate::proto::Envelope;
+use crate::report::NetStats;
+use rendez_sim::NodeId;
+
+/// Run-length header of an [`EnvBatch`]: `len` consecutive messages
+/// sent by `src`. For emission batches message `k` of the run carries
+/// sequence number `first_seq + k` (batch invariant 1); for routed
+/// batches `first_seq` is not meaningful (invariant 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcRun {
+    /// Sequence number of the run's first message (emission batches).
+    pub first_seq: u64,
+    /// The sender of every message in the run.
+    pub src: NodeId,
+    /// Number of messages in the run.
+    pub len: u32,
+}
+
+/// A compact SoA batch of queued messages: flat destination and payload
+/// arrays plus run-length [`SrcRun`] headers. See the [module
+/// docs](self) for the invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvBatch<M> {
+    dst: Vec<NodeId>,
+    msg: Vec<M>,
+    runs: Vec<SrcRun>,
+}
+
+impl<M> Default for EnvBatch<M> {
+    fn default() -> Self {
+        Self {
+            dst: Vec::new(),
+            msg: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+}
+
+impl<M> EnvBatch<M> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Whether the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.dst.is_empty()
+    }
+
+    /// Drop all messages, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.dst.clear();
+        self.msg.clear();
+        self.runs.clear();
+    }
+
+    /// Whether any of the backing arrays holds reusable capacity —
+    /// the executors' buffer pools only keep such batches.
+    pub(crate) fn has_capacity(&self) -> bool {
+        self.dst.capacity() > 0 || self.msg.capacity() > 0 || self.runs.capacity() > 0
+    }
+
+    /// The run headers, in storage order.
+    pub fn runs(&self) -> &[SrcRun] {
+        &self.runs
+    }
+
+    /// Queue one emission: `src`'s send number `seq` to `dst`. Extends
+    /// the last run when `src` matches and `seq` is contiguous with it
+    /// (batch invariant 1), otherwise starts a new run.
+    pub fn push(&mut self, src: NodeId, seq: u64, dst: NodeId, msg: M) {
+        match self.runs.last_mut() {
+            Some(run) if run.src == src && run.first_seq + run.len as u64 == seq => run.len += 1,
+            _ => self.runs.push(SrcRun {
+                first_seq: seq,
+                src,
+                len: 1,
+            }),
+        }
+        self.dst.push(dst);
+        self.msg.push(msg);
+    }
+
+    /// Queue one routed message from `src` to `dst`, merging runs on
+    /// sender identity alone (batch invariant 2 — `first_seq` reads 0).
+    pub fn push_grouped(&mut self, src: NodeId, dst: NodeId, msg: M) {
+        match self.runs.last_mut() {
+            Some(run) if run.src == src => run.len += 1,
+            _ => self.runs.push(SrcRun {
+                first_seq: 0,
+                src,
+                len: 1,
+            }),
+        }
+        self.dst.push(dst);
+        self.msg.push(msg);
+    }
+
+    /// Visit every run with its destination and payload slices, in
+    /// storage order.
+    pub fn for_each_run(&self, mut f: impl FnMut(&SrcRun, &[NodeId], &[M])) {
+        let mut start = 0usize;
+        for run in &self.runs {
+            let end = start + run.len as usize;
+            f(run, &self.dst[start..end], &self.msg[start..end]);
+            start = end;
+        }
+    }
+
+    /// Iterate the batch as `(src, seq, dst, &msg)` tuples in storage
+    /// order. Sequence numbers are reconstructed from the run headers,
+    /// so this is only exact for emission batches (batch invariant 1).
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64, NodeId, &M)> + '_ {
+        self.runs
+            .iter()
+            .scan(0usize, |start, run| {
+                let s = *start;
+                *start += run.len as usize;
+                Some((run, s))
+            })
+            .flat_map(move |(run, s)| {
+                (0..run.len as usize).map(move |k| {
+                    (
+                        run.src,
+                        run.first_seq + k as u64,
+                        self.dst[s + k],
+                        &self.msg[s + k],
+                    )
+                })
+            })
+    }
+}
+
+impl<M: Clone> EnvBatch<M> {
+    /// Reconstruct the legacy AoS stream. Exact for emission batches
+    /// (batch invariant 1); the round-trip with
+    /// [`from_envelopes`](Self::from_envelopes) is property-tested.
+    pub fn to_envelopes(&self) -> Vec<Envelope<M>> {
+        self.iter()
+            .map(|(src, seq, dst, msg)| Envelope {
+                src,
+                dst,
+                seq,
+                msg: msg.clone(),
+            })
+            .collect()
+    }
+
+    /// Build a batch from a legacy AoS stream, merging runs exactly as
+    /// the emission path would.
+    pub fn from_envelopes(envs: &[Envelope<M>]) -> Self {
+        let mut batch = Self::new();
+        for e in envs {
+            batch.push(e.src, e.seq, e.dst, e.msg.clone());
+        }
+        batch
+    }
+}
+
+/// Scratch for [`route_sends`]: the counting pass that orders a fresh
+/// emission batch's runs by sender.
+#[derive(Debug, Default)]
+pub(crate) struct RouteScratch {
+    counts: Vec<u32>,
+    run_starts: Vec<u32>,
+    run_order: Vec<u32>,
+}
+
+/// Decide the fate of every message in `fresh` (senders
+/// `base..base + width`) and hand survivors to `file(slot, src, dst,
+/// msg)` in `(src, seq)` order, draining the batch.
+///
+/// This is the hoisted fate kernel shared by the sequential and sharded
+/// executors: runs are walked grouped by sender (a stable counting pass
+/// over the run *headers* — per-message work is one bucket push), the
+/// per-sender fate stream seed is derived once per sender
+/// ([`Conditions::fate_run`]), and ideal conditions skip fate hashing
+/// entirely. `stats` absorbs the sent/bytes/dropped accounting.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_sends<M: Clone>(
+    fresh: &mut EnvBatch<M>,
+    seed: u64,
+    cond: &Conditions,
+    base: usize,
+    width: usize,
+    rs: &mut RouteScratch,
+    stats: &mut NetStats,
+    mut msg_bytes: impl FnMut(&M) -> usize,
+    mut file: impl FnMut(usize, NodeId, NodeId, M),
+) {
+    if fresh.runs.is_empty() {
+        fresh.clear();
+        return;
+    }
+    // Group run indices by sender offset: counting pass over headers.
+    // Per-sender emission is seq-ascending across the whole round
+    // (sequence counters only advance on sends), so walking each
+    // sender's runs in arrival order yields its messages in seq order.
+    let RouteScratch {
+        counts,
+        run_starts,
+        run_order,
+    } = rs;
+    counts.clear();
+    counts.resize(width, 0);
+    run_starts.clear();
+    run_starts.reserve(fresh.runs.len());
+    let mut start = 0u32;
+    for run in &fresh.runs {
+        counts[run.src.index() - base] += 1;
+        run_starts.push(start);
+        start += run.len;
+    }
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = acc;
+        acc += here;
+    }
+    run_order.clear();
+    run_order.resize(fresh.runs.len(), 0);
+    for (idx, run) in fresh.runs.iter().enumerate() {
+        let k = run.src.index() - base;
+        run_order[counts[k] as usize] = idx as u32;
+        counts[k] += 1;
+    }
+
+    let ideal = cond.is_ideal();
+    // One fate stream per sender, shared by that sender's consecutive
+    // runs (derive_seed once per sender, not once per message).
+    let mut fate: Option<(NodeId, crate::conditions::FateRun)> = None;
+    for &ri in run_order.iter() {
+        let run = fresh.runs[ri as usize];
+        let s = run_starts[ri as usize] as usize;
+        let e = s + run.len as usize;
+        let dsts = &fresh.dst[s..e];
+        let msgs = &fresh.msg[s..e];
+        stats.sent += run.len as u64;
+        for m in msgs {
+            stats.bytes_sent += msg_bytes(m) as u64;
+        }
+        if ideal {
+            // Fast path: no fate hashing, every message lands next
+            // round (slot 0).
+            for (dst, m) in dsts.iter().zip(msgs) {
+                file(0, run.src, *dst, m.clone());
+            }
+            continue;
+        }
+        let fr = match &fate {
+            Some((src, fr)) if *src == run.src => *fr,
+            _ => {
+                let fr = cond.fate_run(seed, run.src);
+                fate = Some((run.src, fr));
+                fr
+            }
+        };
+        for (k, (dst, m)) in dsts.iter().zip(msgs).enumerate() {
+            match fr.fate(run.first_seq + k as u64) {
+                None => stats.dropped += 1,
+                Some(latency) => file((latency - 1) as usize, run.src, *dst, m.clone()),
+            }
+        }
+    }
+    fresh.clear();
+}
+
+/// Scratch and output of [`order_deliveries`]: one round's deliveries
+/// for a contiguous destination range, in canonical `(dst, src, seq)`
+/// order as two parallel arrays plus per-destination group offsets.
+#[derive(Debug)]
+pub(crate) struct DeliverScratch<M> {
+    /// Senders, delivery-ordered (expanded from the run headers).
+    pub srcs: Vec<NodeId>,
+    /// Payloads, delivery-ordered.
+    pub msgs: Vec<M>,
+    /// `width + 1` exclusive prefix offsets: destination offset `k`'s
+    /// group is `srcs[starts[k]..starts[k + 1]]` (same for `msgs`).
+    /// Only valid when the last [`order_deliveries`] returned > 0.
+    pub starts: Vec<u32>,
+    counts: Vec<u32>,
+    flat: Vec<(NodeId, NodeId, M)>,
+}
+
+impl<M> Default for DeliverScratch<M> {
+    fn default() -> Self {
+        Self {
+            srcs: Vec::new(),
+            msgs: Vec::new(),
+            starts: Vec::new(),
+            counts: Vec::new(),
+            flat: Vec::new(),
+        }
+    }
+}
+
+/// Order one round's due segments into canonical `(dst, src, seq)`
+/// delivery order, draining them. Returns the number of deliveries.
+///
+/// The counting pass operates on batch *headers*: per message it costs
+/// one histogram bump and one 12-byte-plus-payload scatter write —
+/// against the legacy path's comparison sort over 24-byte-plus-payload
+/// AoS records. `segments` must concatenate `(src, seq)`-sorted (batch
+/// invariant 3); when `mixed` says several send rounds share the bucket
+/// the kernel falls back to a stable `(dst, src)` sort.
+pub(crate) fn order_deliveries<M: Clone>(
+    segments: &mut [EnvBatch<M>],
+    mixed: bool,
+    base: usize,
+    width: usize,
+    ds: &mut DeliverScratch<M>,
+) -> usize {
+    let total: usize = segments.iter().map(EnvBatch::len).sum();
+    ds.srcs.clear();
+    ds.msgs.clear();
+    if total == 0 {
+        for seg in segments {
+            seg.clear();
+        }
+        return 0;
+    }
+
+    if mixed {
+        // Rare path (latency distributions with spread): flatten and
+        // stable-sort by (dst, src). Segments arrive in send-round
+        // order and each sender lives in exactly one segment stream,
+        // so stability restores the full (dst, src, seq) order.
+        ds.flat.clear();
+        ds.flat.reserve(total);
+        for seg in segments.iter() {
+            seg.for_each_run(|run, dsts, msgs| {
+                for (dst, m) in dsts.iter().zip(msgs) {
+                    ds.flat.push((*dst, run.src, m.clone()));
+                }
+            });
+        }
+        for seg in segments {
+            seg.clear();
+        }
+        ds.flat.sort_by_key(|t| (t.0, t.1));
+        ds.counts.clear();
+        ds.counts.resize(width, 0);
+        for (dst, _, _) in &ds.flat {
+            ds.counts[dst.index() - base] += 1;
+        }
+        exclusive_prefix(&ds.counts, &mut ds.starts, total);
+        ds.srcs.reserve(total);
+        ds.msgs.reserve(total);
+        for (_, src, m) in ds.flat.drain(..) {
+            ds.srcs.push(src);
+            ds.msgs.push(m);
+        }
+        return total;
+    }
+
+    // Hot path: one stable counting pass by destination offset.
+    ds.counts.clear();
+    ds.counts.resize(width, 0);
+    for seg in segments.iter() {
+        for dst in &seg.dst {
+            ds.counts[dst.index() - base] += 1;
+        }
+    }
+    exclusive_prefix(&ds.counts, &mut ds.starts, total);
+    ds.counts.copy_from_slice(&ds.starts[..width]);
+    ds.srcs.reserve(total);
+    ds.msgs.reserve(total);
+    // SAFETY: the write positions `counts[dst offset]++` enumerate each
+    // destination group's slots in arrival order; the exclusive prefix
+    // sums were exact, so the positions are a permutation of
+    // `0..total` — every reserved slot is initialized exactly once
+    // before `set_len`, and no message is dropped or duplicated.
+    let sp = ds.srcs.as_mut_ptr();
+    let mp = ds.msgs.as_mut_ptr();
+    for seg in segments.iter() {
+        seg.for_each_run(|run, dsts, msgs| {
+            for (dst, m) in dsts.iter().zip(msgs) {
+                let k = dst.index() - base;
+                let pos = ds.counts[k] as usize;
+                ds.counts[k] += 1;
+                unsafe {
+                    sp.add(pos).write(run.src);
+                    mp.add(pos).write(m.clone());
+                }
+            }
+        });
+    }
+    unsafe {
+        ds.srcs.set_len(total);
+        ds.msgs.set_len(total);
+    }
+    for seg in segments {
+        seg.clear();
+    }
+    total
+}
+
+/// Fill `starts` with the exclusive prefix sums of `counts`, plus the
+/// grand total as a final sentinel entry.
+fn exclusive_prefix(counts: &[u32], starts: &mut Vec<u32>, total: usize) {
+    starts.clear();
+    starts.reserve(counts.len() + 1);
+    let mut acc = 0u32;
+    for &c in counts {
+        starts.push(acc);
+        acc += c;
+    }
+    debug_assert_eq!(acc as usize, total);
+    starts.push(acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::LatencyDist;
+
+    fn env(src: u32, dst: u32, seq: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            seq,
+            msg: src * 1000 + seq as u32,
+        }
+    }
+
+    #[test]
+    fn push_merges_contiguous_runs_only() {
+        let mut b = EnvBatch::new();
+        b.push(NodeId(1), 0, NodeId(9), 'a');
+        b.push(NodeId(1), 1, NodeId(8), 'b');
+        b.push(NodeId(2), 0, NodeId(7), 'c');
+        b.push(NodeId(1), 2, NodeId(6), 'd'); // same src, interleaved: new run
+        b.push(NodeId(1), 5, NodeId(5), 'e'); // seq gap: new run
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.runs().len(), 4);
+        assert_eq!(b.runs()[0].len, 2);
+        assert_eq!(b.runs()[3].first_seq, 5);
+    }
+
+    #[test]
+    fn push_grouped_merges_on_src_alone() {
+        let mut b = EnvBatch::new();
+        b.push_grouped(NodeId(3), NodeId(0), 'x');
+        b.push_grouped(NodeId(3), NodeId(1), 'y'); // seq-free merge
+        b.push_grouped(NodeId(4), NodeId(2), 'z');
+        assert_eq!(b.runs().len(), 2);
+        assert_eq!(b.runs()[0].len, 2);
+    }
+
+    #[test]
+    fn envelope_round_trip_is_exact() {
+        let envs = vec![env(0, 3, 0), env(0, 1, 1), env(2, 0, 4), env(0, 2, 2)];
+        let batch = EnvBatch::from_envelopes(&envs);
+        assert_eq!(batch.to_envelopes(), envs);
+        // iter() agrees with the reconstruction.
+        let via_iter: Vec<_> = batch
+            .iter()
+            .map(|(src, seq, dst, &msg)| Envelope { src, dst, seq, msg })
+            .collect();
+        assert_eq!(via_iter, envs);
+    }
+
+    /// Reference model for route_sends: legacy per-envelope fate.
+    fn route_reference(
+        envs: &[Envelope<u32>],
+        seed: u64,
+        cond: &Conditions,
+    ) -> (Vec<(usize, NodeId, NodeId, u32)>, NetStats) {
+        let mut sorted = envs.to_vec();
+        sorted.sort_by_key(|e| (e.src, e.seq));
+        let mut out = Vec::new();
+        let mut stats = NetStats::default();
+        for e in &sorted {
+            stats.sent += 1;
+            stats.bytes_sent += 1;
+            match cond.fate(seed, e) {
+                None => stats.dropped += 1,
+                Some(l) => out.push(((l - 1) as usize, e.src, e.dst, e.msg)),
+            }
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn route_sends_matches_per_envelope_fate() {
+        for cond in [
+            Conditions::ideal(),
+            Conditions::with_loss(0.4),
+            Conditions::with_latency(LatencyDist::Uniform { min: 1, max: 5 }),
+        ] {
+            // Interleaved emission: two sources alternating, one idle.
+            let envs = vec![
+                env(1, 0, 0),
+                env(1, 2, 1),
+                env(3, 1, 0),
+                env(1, 3, 2),
+                env(3, 0, 1),
+            ];
+            let mut fresh = EnvBatch::from_envelopes(&envs);
+            let mut rs = RouteScratch::default();
+            let mut stats = NetStats::default();
+            let mut got = Vec::new();
+            route_sends(
+                &mut fresh,
+                9,
+                &cond,
+                0,
+                4,
+                &mut rs,
+                &mut stats,
+                |_| 1,
+                |slot, src, dst, msg| got.push((slot, src, dst, msg)),
+            );
+            let (want, want_stats) = route_reference(&envs, 9, &cond);
+            assert_eq!(got, want, "cond={cond:?}");
+            assert_eq!(stats, want_stats, "cond={cond:?}");
+            assert!(fresh.is_empty(), "fresh is drained");
+        }
+    }
+
+    #[test]
+    fn order_deliveries_counting_matches_sort() {
+        // Two (src, seq)-sorted segments from contiguous shards.
+        let a = EnvBatch::from_envelopes(&[env(0, 2, 0), env(0, 1, 1), env(1, 2, 0)]);
+        let b = EnvBatch::from_envelopes(&[env(3, 0, 0), env(3, 2, 1), env(4, 1, 2)]);
+        let mut expect: Vec<_> = [a.to_envelopes(), b.to_envelopes()].concat();
+        expect.sort_by_key(|e| (e.dst, e.src, e.seq));
+
+        let mut segments = vec![a, b];
+        let mut ds = DeliverScratch::default();
+        let total = order_deliveries(&mut segments, false, 0, 5, &mut ds);
+        assert_eq!(total, expect.len());
+        let got: Vec<_> = ds
+            .srcs
+            .iter()
+            .zip(&ds.msgs)
+            .map(|(s, m)| (*s, *m))
+            .collect();
+        let want: Vec<_> = expect.iter().map(|e| (e.src, e.msg)).collect();
+        assert_eq!(got, want);
+        // Group offsets address each destination's slice.
+        for off in 0..5 {
+            let (s, e) = (ds.starts[off] as usize, ds.starts[off + 1] as usize);
+            for env in &expect[s..e] {
+                assert_eq!(env.dst, NodeId(off as u32));
+            }
+        }
+        assert!(segments.iter().all(EnvBatch::is_empty), "segments drained");
+    }
+
+    #[test]
+    fn order_deliveries_mixed_is_stable_across_rounds() {
+        // Same sender contributing to one bucket from two send rounds:
+        // the segment order (round order) must be preserved per (dst,
+        // src) — equivalent to the (dst, src, seq) sort.
+        let round0 = EnvBatch::from_envelopes(&[env(1, 0, 0), env(2, 0, 0)]);
+        let round1 = EnvBatch::from_envelopes(&[env(1, 0, 7), env(0, 0, 3)]);
+        let mut expect: Vec<_> = [round0.to_envelopes(), round1.to_envelopes()].concat();
+        expect.sort_by_key(|e| (e.dst, e.src, e.seq));
+
+        let mut segments = vec![round0, round1];
+        let mut ds = DeliverScratch::default();
+        let total = order_deliveries(&mut segments, true, 0, 3, &mut ds);
+        assert_eq!(total, 4);
+        let got: Vec<_> = ds
+            .srcs
+            .iter()
+            .zip(&ds.msgs)
+            .map(|(s, m)| (*s, *m))
+            .collect();
+        let want: Vec<_> = expect.iter().map(|e| (e.src, e.msg)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn order_deliveries_handles_empty_input() {
+        let mut segments: Vec<EnvBatch<u32>> = vec![EnvBatch::new(), EnvBatch::new()];
+        let mut ds = DeliverScratch::default();
+        ds.srcs.push(NodeId(0)); // stale scratch must be cleared
+        assert_eq!(order_deliveries(&mut segments, false, 0, 4, &mut ds), 0);
+        assert!(ds.srcs.is_empty());
+    }
+}

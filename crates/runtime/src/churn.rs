@@ -177,10 +177,103 @@ impl Churn {
     }
 
     /// Fill `mask[i] = alive(seed, base + i, round)` for a contiguous id
-    /// range — the per-round fast path used by the executors.
+    /// range — the uncached reference path; executors go through
+    /// [`cache`](Self::cache) instead.
+    #[cfg(test)]
     pub(crate) fn fill_live_mask(&self, seed: u64, round: u64, base: usize, mask: &mut [bool]) {
         for (off, live) in mask.iter_mut().enumerate() {
             *live = self.alive(seed, NodeId::from_index(base + off), round);
+        }
+    }
+
+    /// Hoist the per-node half of the liveness hash for the id range
+    /// `base..base + len`: `derive_seed(seed ^ CHURN_SALT, node)` is
+    /// computed once per node up front instead of once per round — and
+    /// for crash-stop churn the whole crash schedule is resolved, making
+    /// the per-round check a plain comparison.
+    pub(crate) fn cache(&self, seed: u64, base: usize, len: usize) -> ChurnCache {
+        match self.model {
+            ChurnModel::None => ChurnCache::None,
+            ChurnModel::Intermittent { down_prob } => ChurnCache::Intermittent {
+                down_prob,
+                per_node: (0..len)
+                    .map(|off| derive_seed(seed ^ CHURN_SALT, (base + off) as u64))
+                    .collect(),
+                protected: self
+                    .protected
+                    .map(|p| p.index())
+                    .filter(|&p| p >= base && p < base + len)
+                    .map(|p| p - base),
+            },
+            ChurnModel::CrashStop { fail_frac, horizon } => ChurnCache::CrashStop {
+                crash_round: (0..len)
+                    .map(|off| {
+                        let node = NodeId::from_index(base + off);
+                        if self.protected == Some(node) {
+                            return u64::MAX;
+                        }
+                        let h = derive_seed(seed ^ CHURN_SALT, node.0 as u64);
+                        if to_unit(h) >= fail_frac {
+                            u64::MAX
+                        } else {
+                            SplitMix64::mix(h) % horizon
+                        }
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Precomputed liveness streams for one contiguous id range — the
+/// executors' per-round fast path (see [`Churn::cache`]). Bit-identical
+/// to per-round [`Churn::alive`] queries, pinned by
+/// `cache_matches_alive_bit_for_bit`.
+#[derive(Debug, Clone)]
+pub(crate) enum ChurnCache {
+    /// No churn: every node live, the mask fill is a `fill(true)`.
+    None,
+    /// Per-node stream seeds hoisted; each round costs one `derive_seed`
+    /// per node instead of two.
+    Intermittent {
+        down_prob: f64,
+        per_node: Vec<u64>,
+        /// Offset of the protected node within the range, if in range.
+        protected: Option<usize>,
+    },
+    /// Crash rounds fully resolved (`u64::MAX` = never crashes); each
+    /// round costs one comparison per node and no hashing at all.
+    CrashStop { crash_round: Vec<u64> },
+}
+
+impl ChurnCache {
+    /// Whether this is the no-churn cache.
+    pub(crate) fn is_none(&self) -> bool {
+        matches!(self, ChurnCache::None)
+    }
+
+    /// Fill `mask[i] = alive(base + i, round)` for the cached range.
+    pub(crate) fn fill_live_mask(&self, round: u64, mask: &mut [bool]) {
+        match self {
+            ChurnCache::None => mask.fill(true),
+            ChurnCache::Intermittent {
+                down_prob,
+                per_node,
+                protected,
+            } => {
+                for (off, live) in mask.iter_mut().enumerate() {
+                    *live = to_unit(derive_seed(per_node[off], round)) >= *down_prob;
+                }
+                if let Some(p) = protected {
+                    mask[*p] = true;
+                }
+            }
+            ChurnCache::CrashStop { crash_round } => {
+                // Survivors hold u64::MAX, which no real round reaches.
+                for (off, live) in mask.iter_mut().enumerate() {
+                    *live = round < crash_round[off];
+                }
+            }
         }
     }
 }
@@ -264,6 +357,33 @@ mod tests {
         c.fill_live_mask(9, 13, 100, &mut mask);
         for (off, &m) in mask.iter().enumerate() {
             assert_eq!(m, c.alive(9, NodeId::from_index(100 + off), 13));
+        }
+    }
+
+    #[test]
+    fn cache_matches_alive_bit_for_bit() {
+        // The hoisted per-node streams must reproduce every liveness bit
+        // of the uncached hash chain — including protected nodes inside
+        // and outside the cached range.
+        let configs = [
+            Churn::none(),
+            Churn::intermittent(0.3),
+            Churn::intermittent(0.3).protect(NodeId(105)),
+            Churn::intermittent(0.3).protect(NodeId(5)), // out of range
+            Churn::crash_stop(0.4, 25),
+            Churn::crash_stop(0.4, 25).protect(NodeId(117)),
+        ];
+        for churn in configs {
+            let (base, len) = (100usize, 40usize);
+            let cache = churn.cache(0xC0FFEE, base, len);
+            assert_eq!(cache.is_none(), churn.is_none());
+            let mut mask = vec![false; len];
+            let mut reference = vec![false; len];
+            for round in 0..60 {
+                cache.fill_live_mask(round, &mut mask);
+                churn.fill_live_mask(0xC0FFEE, round, base, &mut reference);
+                assert_eq!(mask, reference, "churn={churn:?} round={round}");
+            }
         }
     }
 

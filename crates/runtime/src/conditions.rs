@@ -12,7 +12,7 @@
 //! lint: deterministic
 
 use crate::proto::Envelope;
-use rendez_sim::{derive_seed, SplitMix64};
+use rendez_sim::{derive_seed, NodeId, SplitMix64};
 
 /// Salt separating the conditioning stream from node RNG streams.
 const FATE_SALT: u64 = 0xC01D_F47E_u64;
@@ -171,13 +171,54 @@ impl Conditions {
     /// `None` = lost, `Some(l)` = delivered `l ≥ 1` rounds after sending.
     ///
     /// Deterministic in `(seed, src, seq)` alone; the same message gets
-    /// the same fate no matter which executor or thread asks.
+    /// the same fate no matter which executor or thread asks. Built on
+    /// [`fate_run`](Self::fate_run), so the per-message and batched
+    /// paths agree bit-for-bit by construction.
     pub fn fate<M>(&self, seed: u64, envelope: &Envelope<M>) -> Option<u64> {
-        if self.is_ideal() {
+        self.fate_run(seed, envelope.src).fate(envelope.seq)
+    }
+
+    /// Hoist the per-sender half of the fate hash: derive
+    /// `derive_seed(seed ^ FATE_SALT, src)` once, then decide any number
+    /// of that sender's messages with [`FateRun::fate`] at one
+    /// `derive_seed` per message instead of two.
+    pub fn fate_run(&self, seed: u64, src: NodeId) -> FateRun {
+        let ideal = self.is_ideal();
+        FateRun {
+            per_src: if ideal {
+                0
+            } else {
+                derive_seed(seed ^ FATE_SALT, src.0 as u64)
+            },
+            drop_prob: self.drop_prob,
+            latency: self.latency,
+            ideal,
+        }
+    }
+}
+
+/// The hoisted fate kernel for one sender's message stream: the
+/// per-sender seed is computed once by [`Conditions::fate_run`], after
+/// which each message costs a single `derive_seed` — or nothing at all
+/// under ideal conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct FateRun {
+    per_src: u64,
+    drop_prob: f64,
+    latency: LatencyDist,
+    ideal: bool,
+}
+
+impl FateRun {
+    /// Decide the fate of the sender's message number `seq`: `None` =
+    /// lost, `Some(l)` = delivered `l ≥ 1` rounds after sending.
+    /// Bit-identical to [`Conditions::fate`] on the same message.
+    #[inline]
+    pub fn fate(&self, seq: u64) -> Option<u64> {
+        if self.ideal {
             return Some(1);
         }
-        let per_src = derive_seed(seed ^ FATE_SALT, envelope.src.0 as u64);
-        let h = derive_seed(per_src, envelope.seq);
+        let h = derive_seed(self.per_src, seq);
         if self.drop_prob > 0.0 && to_unit(h) < self.drop_prob {
             return None;
         }
@@ -271,6 +312,44 @@ mod tests {
             for s in 0..2_000 {
                 let l = cond.fate(9, &env(1, s)).expect("lossless");
                 assert!(((l - 1) as usize) < slots, "latency {l} vs {slots} slots");
+            }
+        }
+    }
+
+    #[test]
+    fn fate_run_pins_legacy_formula() {
+        // The hoisted kernel must reproduce the historical per-envelope
+        // hash chain bit-for-bit — this inlines the legacy formula.
+        let conds = [
+            Conditions::with_loss(0.4),
+            Conditions::with_latency(LatencyDist::Uniform { min: 1, max: 6 }),
+            Conditions::with_latency(LatencyDist::Geometric { p: 0.3, cap: 16 }),
+        ];
+        for c in conds {
+            for src in [0u32, 7, 1_000_000] {
+                let run = c.fate_run(0x5CA1E, NodeId(src));
+                for seq in 0..500 {
+                    let per_src = derive_seed(0x5CA1E ^ FATE_SALT, src as u64);
+                    let h = derive_seed(per_src, seq);
+                    let legacy = if c.drop_prob > 0.0 && to_unit(h) < c.drop_prob {
+                        None
+                    } else {
+                        Some(c.latency.sample(SplitMix64::mix(h)).max(1))
+                    };
+                    assert_eq!(run.fate(seq), legacy);
+                    assert_eq!(
+                        c.fate(
+                            0x5CA1E,
+                            &Envelope {
+                                src: NodeId(src),
+                                dst: NodeId(0),
+                                seq,
+                                msg: 0u8
+                            }
+                        ),
+                        legacy
+                    );
+                }
             }
         }
     }

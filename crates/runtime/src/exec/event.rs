@@ -43,8 +43,9 @@
 //! lint: deterministic
 
 use crate::arena::NodeArena;
+use crate::batch::EnvBatch;
 use crate::conditions::to_unit;
-use crate::proto::{AsyncProtocol, Envelope, Outbox, RoundObs, Verdict};
+use crate::proto::{AsyncProtocol, Outbox, RoundObs, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
 use rand::rngs::SmallRng;
 use rendez_sim::{derive_seed, small_rng_for, NodeId, SplitMix64};
@@ -141,12 +142,14 @@ impl EventExecutor {
             .map(|i| proto.init_node(NodeId::from_index(i), &mut rngs[i]))
             .collect();
 
-        // One pending FIFO per destination: messages wait here, in
-        // arrival order, for the destination's next activation. The
-        // buffers are recycled in place, so steady-state events reuse
-        // their allocations.
-        let mut pending: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+        // One pending FIFO per destination: `(sender, payload)` pairs
+        // wait here, in arrival order, for the destination's next
+        // activation (sequence numbers are not needed once a message is
+        // parked — FIFO order is arrival order). The buffers are
+        // recycled in place, so steady-state events reuse their
+        // allocations.
+        let mut pending: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut fresh: EnvBatch<P::Msg> = EnvBatch::new();
         let mut arena = NodeArena::new(0, n);
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
@@ -207,29 +210,24 @@ impl EventExecutor {
             // node's per-activation scratch (request stashes etc.).
             arena.begin_round();
             let mut inbox = std::mem::take(&mut pending[i]);
-            for env in inbox.drain(..) {
+            for (from, msg) in inbox.drain(..) {
                 stats.delivered += 1;
                 let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
-                proto.on_message(
-                    &mut nodes[i],
-                    id,
-                    env.src,
-                    env.msg,
-                    now,
-                    &mut rngs[i],
-                    &mut out,
-                );
+                proto.on_message(&mut nodes[i], id, from, msg, now, &mut rngs[i], &mut out);
             }
             pending[i] = inbox;
             {
                 let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
                 proto.on_wake(&mut nodes[i], id, now, &mut rngs[i], &mut out);
             }
-            for env in fresh.drain(..) {
-                stats.sent += 1;
-                stats.bytes_sent += proto.msg_bytes(&env.msg) as u64;
-                pending[env.dst.index()].push(env);
-            }
+            fresh.for_each_run(|run, dsts, msgs| {
+                stats.sent += run.len as u64;
+                for (dst, msg) in dsts.iter().zip(msgs) {
+                    stats.bytes_sent += proto.msg_bytes(msg) as u64;
+                    pending[dst.index()].push((run.src, msg.clone()));
+                }
+            });
+            fresh.clear();
 
             scratch.count = 0;
             scratch.digest = 0;

@@ -39,9 +39,8 @@ pub use pool::{PoolScope, WorkerPool};
 pub use sequential::SequentialExecutor;
 pub use sharded::ShardedExecutor;
 
-use crate::proto::{Envelope, RoundProtocol};
-use crate::report::{NetStats, RunConfig, RunReport};
-use std::collections::VecDeque;
+use crate::proto::RoundProtocol;
+use crate::report::{RunConfig, RunReport};
 
 /// A strategy for executing a round-based protocol run.
 pub trait Executor {
@@ -59,40 +58,6 @@ pub trait Executor {
         n: usize,
         cfg: &RunConfig,
     ) -> RunReport<P::Output>;
-}
-
-/// Decide the fate of every envelope in `fresh` (in place, draining it)
-/// and file survivors into `buckets`, where `buckets[k]` holds messages
-/// due `k + 1` rounds from now. Drained bucket `Vec`s are recycled
-/// through `free` so steady-state rounds allocate nothing.
-///
-/// This is the **sequential** executor's filing path; it is the only
-/// per-envelope loop that runs on a coordinating thread. The sharded
-/// executor files sends inside its shard workers (see
-/// [`sharded`](self::sharded)) and its coordinator splices whole
-/// buckets without touching individual messages.
-pub(crate) fn schedule_sends<P: RoundProtocol>(
-    proto: &P,
-    cfg: &RunConfig,
-    fresh: &mut Vec<Envelope<P::Msg>>,
-    buckets: &mut VecDeque<Vec<Envelope<P::Msg>>>,
-    free: &mut Vec<Vec<Envelope<P::Msg>>>,
-    stats: &mut NetStats,
-) {
-    for env in fresh.drain(..) {
-        stats.sent += 1;
-        stats.bytes_sent += proto.msg_bytes(&env.msg) as u64;
-        match cfg.conditions.fate(cfg.seed, &env) {
-            None => stats.dropped += 1,
-            Some(latency) => {
-                let slot = (latency - 1) as usize;
-                while buckets.len() <= slot {
-                    buckets.push_back(free.pop().unwrap_or_default());
-                }
-                buckets[slot].push(env);
-            }
-        }
-    }
 }
 
 /// Sum [`RoundProtocol::node_mem_bytes`] over a run's final node states

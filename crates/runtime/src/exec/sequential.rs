@@ -5,15 +5,43 @@
 //! canonical digest trace that every other executor must reproduce
 //! bit-for-bit at any shard, lane, or pool count.
 //!
+//! It runs on the same message-plane kernels as the sharded workers
+//! ([`route_sends`] / [`order_deliveries`] over [`EnvBatch`] lanes), so
+//! the reference semantics and the parallel hot path cannot drift apart:
+//! a message's journey is batch → hoisted fate → slot row → one stable
+//! counting pass → [`on_receive_run`](RoundProtocol::on_receive_run),
+//! whichever executor drives it.
+//!
 //! lint: deterministic
 
-use super::{schedule_sends, tally_node_bytes, validate_run, Executor};
+use super::{tally_node_bytes, validate_run, Executor};
 use crate::arena::NodeArena;
-use crate::proto::{observe_nodes, Envelope, Outbox, RoundProtocol, Verdict};
+use crate::batch::{order_deliveries, route_sends, DeliverScratch, EnvBatch, RouteScratch};
+use crate::proto::{observe_nodes, Outbox, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
 use std::collections::VecDeque;
+
+/// One latency slot's accumulated messages: a segment per send round
+/// that filed into it, in send-round order. `mixed` records whether more
+/// than one round contributed (forcing the stable-sort delivery path);
+/// `filled_round` tracks the segment boundary.
+struct SlotRow<M> {
+    segs: Vec<EnvBatch<M>>,
+    filled_round: u64,
+    mixed: bool,
+}
+
+impl<M> Default for SlotRow<M> {
+    fn default() -> Self {
+        Self {
+            segs: Vec::new(),
+            filled_round: u64::MAX,
+            mixed: false,
+        }
+    }
+}
 
 /// Runs every node on the calling thread, in id order.
 ///
@@ -42,21 +70,26 @@ impl Executor for SequentialExecutor {
             .collect();
 
         // `buckets[k]` holds messages due `k` rounds after the current
-        // pop; drained bucket vectors cycle through `free` so the loop
-        // stops allocating once the latency window is warm.
-        let mut buckets: VecDeque<Vec<Envelope<P::Msg>>> = VecDeque::new();
-        let mut free: Vec<Vec<Envelope<P::Msg>>> = Vec::new();
-        let mut fresh: Vec<Envelope<P::Msg>> = Vec::new();
+        // pop; drained rows and segment batches cycle through the free
+        // lists so the loop stops allocating once the latency window is
+        // warm.
+        let mut buckets: VecDeque<SlotRow<P::Msg>> = VecDeque::new();
+        let mut row_free: Vec<SlotRow<P::Msg>> = Vec::new();
+        let mut seg_pool: Vec<EnvBatch<P::Msg>> = Vec::new();
+        let mut fresh: EnvBatch<P::Msg> = EnvBatch::new();
+        let mut rs = RouteScratch::default();
+        let mut ds = DeliverScratch::default();
         let mut arena = NodeArena::new(0, n);
         let mut stats = NetStats::default();
         let mut digests = Vec::new();
-        let churned = !cfg.churn.is_none();
+        let churn = cfg.churn.cache(cfg.seed, 0, n);
+        let churned = !churn.is_none();
         let mut live = vec![true; if churned { n } else { 0 }];
 
         for round in 0..cfg.max_rounds {
             arena.begin_round();
             if churned {
-                cfg.churn.fill_live_mask(cfg.seed, round, 0, &mut live);
+                churn.fill_live_mask(round, &mut live);
             }
             let up = |i: usize| !churned || live[i];
 
@@ -71,27 +104,42 @@ impl Executor for SequentialExecutor {
                 proto.on_round_start(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
-            // Phase 2: deliveries due this round, (dst, src, seq) order;
-            // a down destination loses the message.
-            let mut due = buckets.pop_front().unwrap_or_default();
-            due.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
-            for env in due.drain(..) {
-                let i = env.dst.index();
-                if !up(i) {
-                    stats.churn_lost += 1;
-                    continue;
+            // Phase 2: deliveries due this round. The counting pass puts
+            // them in canonical (dst, src, seq) order; a down destination
+            // loses its whole run.
+            let mut row = buckets.pop_front().unwrap_or_default();
+            let total = order_deliveries(&mut row.segs, row.mixed, 0, n, &mut ds);
+            for seg in row.segs.drain(..) {
+                if seg.has_capacity() {
+                    seg_pool.push(seg);
                 }
-                stats.delivered += 1;
-                let mut out = Outbox::new(env.dst, n, &mut seqs[i], &mut fresh, &mut arena);
-                proto.on_message(
-                    &mut nodes[i],
-                    env.dst,
-                    env.src,
-                    env.msg,
-                    round,
-                    &mut rngs[i],
-                    &mut out,
-                );
+            }
+            row.filled_round = u64::MAX;
+            row.mixed = false;
+            row_free.push(row);
+            if total > 0 {
+                for i in 0..n {
+                    let (s, e) = (ds.starts[i] as usize, ds.starts[i + 1] as usize);
+                    if s == e {
+                        continue;
+                    }
+                    if !up(i) {
+                        stats.churn_lost += (e - s) as u64;
+                        continue;
+                    }
+                    stats.delivered += (e - s) as u64;
+                    let id = NodeId::from_index(i);
+                    let mut out = Outbox::new(id, n, &mut seqs[i], &mut fresh, &mut arena);
+                    proto.on_receive_run(
+                        &mut nodes[i],
+                        id,
+                        &ds.srcs[s..e],
+                        &ds.msgs[s..e],
+                        round,
+                        &mut rngs[i],
+                        &mut out,
+                    );
+                }
             }
 
             // Phase 3: round-end hooks, id order (down nodes skipped).
@@ -104,10 +152,34 @@ impl Executor for SequentialExecutor {
                 proto.on_round_end(&mut nodes[i], id, round, &mut rngs[i], &mut out);
             }
 
-            // Recycle the drained delivery bucket, then file this
-            // round's sends and close out the round.
-            free.push(due);
-            schedule_sends(proto, cfg, &mut fresh, &mut buckets, &mut free, &mut stats);
+            // File this round's sends through the hoisted fate kernel.
+            route_sends(
+                &mut fresh,
+                cfg.seed,
+                &cfg.conditions,
+                0,
+                n,
+                &mut rs,
+                &mut stats,
+                |m| proto.msg_bytes(m),
+                |slot, src, dst, msg| {
+                    while buckets.len() <= slot {
+                        buckets.push_back(row_free.pop().unwrap_or_default());
+                    }
+                    let row = &mut buckets[slot];
+                    if row.filled_round != round {
+                        if row.filled_round != u64::MAX {
+                            row.mixed = true;
+                        }
+                        row.filled_round = round;
+                        row.segs.push(seg_pool.pop().unwrap_or_default());
+                    }
+                    row.segs
+                        .last_mut()
+                        .expect("segment just pushed")
+                        .push_grouped(src, dst, msg);
+                },
+            );
             // Observation: the streaming path folds the node slice into
             // one RoundObs (exactly what the sharded workers do per
             // shard); the legacy path hands the whole slice over.

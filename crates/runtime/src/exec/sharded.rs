@@ -39,28 +39,32 @@
 //!    the same hash is computed.
 //! 3. **Splice order = sequential emission order.** Shards are contiguous
 //!    id ranges processed in shard order by the coordinator's merge, and
-//!    each shard's routed buckets are `(src, seq)`-sorted (a stable
-//!    counting pass by source, below). Concatenating shard buckets in
-//!    shard order therefore yields exactly the sequential executor's
-//!    per-bucket content and order.
+//!    each shard's routed buckets are `(src, seq)`-sorted
+//!    ([`route_sends`] walks sources in ascending id order).
+//!    Concatenating shard buckets in shard order therefore yields
+//!    exactly the sequential executor's per-bucket content and order.
 //! 4. **Delivery order.** Messages due in a round are consumed in
 //!    `(dst, src, seq)` order. When a delivery bucket was filled by a
 //!    single send round (always true under fixed latency, in particular
 //!    the paper's synchronous model), its concatenated segments are
 //!    already `(src, seq)`-sorted, so one stable counting pass by
-//!    destination reproduces the full `(dst, src, seq)` sort in
-//!    `O(m + shard_width)` with no comparison sort. Buckets that mixed
-//!    several send rounds (latency distributions with spread) carry a
-//!    `mixed` flag and fall back to an explicit sort — same order, just
-//!    paid for only when latency actually interleaves rounds.
+//!    destination ([`order_deliveries`]) reproduces the full
+//!    `(dst, src, seq)` sort in `O(m + shard_width)` with no comparison
+//!    sort. Buckets that mixed several send rounds (latency
+//!    distributions with spread) carry a `mixed` flag and fall back to
+//!    a stable `(dst, src)` sort — same order, just paid for only when
+//!    latency actually interleaves rounds.
 //!
 //! # Memory discipline
 //!
-//! Bucket `Vec`s cycle rather than churn: a worker's routed bucket is
-//! moved (pointer-level) into the coordinator's queue, later handed to
-//! the destination shard as a delivery segment, drained there, and kept
-//! in that worker's free pool to back its next routed buckets. Steady
-//! state rounds perform no envelope-buffer allocation.
+//! Messages travel in compact SoA [`EnvBatch`] lanes (flat `dst`/`msg`
+//! arrays, run-length source headers — see the
+//! [`batch`](crate::batch) module), and batches cycle rather than
+//! churn: a worker's routed batch is moved (pointer-level) into the
+//! coordinator's queue, later handed to the destination shard as a
+//! delivery segment, drained there, and kept in that worker's free pool
+//! to back its next routed batches. Steady state rounds perform no
+//! envelope-buffer allocation.
 //!
 //! # Safety model
 //!
@@ -82,7 +86,8 @@
 //! non-overlapping ranges), every pointer derives from the single
 //! original allocation, and the owning vectors outlive the worker scope.
 //!
-//! Every `unsafe` site in this file (and in `pool.rs`) is enumerated in
+//! Every `unsafe` site in this file (and in `pool.rs` and `batch.rs`)
+//! is enumerated in
 //! the workspace-root `UNSAFE_LEDGER.toml`, keyed by the hash of its
 //! covering `// SAFETY:` comment; `rendez-lint --workspace` (the CI
 //! `lint` job) fails on any unsafe block this ledger does not bless, so
@@ -93,7 +98,9 @@
 use super::pool::{PoolScope, WorkerPool};
 use super::{tally_node_bytes, validate_run, Executor};
 use crate::arena::NodeArena;
-use crate::proto::{observe_nodes, Envelope, Outbox, RoundObs, RoundProtocol, Verdict};
+use crate::batch::{order_deliveries, route_sends, DeliverScratch, EnvBatch, RouteScratch};
+use crate::churn::ChurnCache;
+use crate::proto::{observe_nodes, Outbox, RoundObs, RoundProtocol, Verdict};
 use crate::report::{NetStats, RunConfig, RunReport, TimeAxis};
 use rand::rngs::SmallRng;
 use rendez_sim::{small_rng_for, NodeId};
@@ -152,19 +159,19 @@ impl ShardedExecutor {
     }
 }
 
-/// Cap on a worker's free pool of recycled envelope buffers.
+/// Cap on a worker's free pool of recycled envelope batches.
 const POOL_CAP: usize = 64;
 
 /// A shard's routed sends for one round: `routed[slot][dest_shard]`,
-/// each inner bucket `(src, seq)`-sorted. Slot `k` is due `k + 1`
+/// each inner batch `(src, seq)`-sorted. Slot `k` is due `k + 1`
 /// rounds after the current one.
-type Routed<M> = Vec<Vec<Vec<Envelope<M>>>>;
+type Routed<M> = Vec<Vec<EnvBatch<M>>>;
 
 /// Work order for one shard round.
 struct Task<M> {
     round: u64,
     /// Delivery segments due this round for this shard, in splice order.
-    due: Vec<Vec<Envelope<M>>>,
+    due: Vec<EnvBatch<M>>,
     /// Whether `due` accumulated sends from more than one send round
     /// (breaks the concatenated `(src, seq)` pre-sort; see module docs).
     mixed: bool,
@@ -206,83 +213,40 @@ struct ShardHandle<P: RoundProtocol> {
 // access.
 unsafe impl<P: RoundProtocol> Send for ShardHandle<P> {}
 
-/// Worker-persistent scratch: emission buffer, counting-sort counters
-/// and output, the free pool of recycled envelope buffers, and the
+/// Worker-persistent scratch: the emission batch, the routing and
+/// delivery kernels' counting scratch, the free pool of recycled
+/// envelope batches, the shard's precomputed churn streams, and the
 /// shard's node arena (constructed on the worker thread, so its backing
 /// pages are first-touched by the thread that uses them).
 struct Scratch<M> {
-    fresh: Vec<Envelope<M>>,
-    sorted: Vec<Envelope<M>>,
-    counts: Vec<u32>,
-    pool: Vec<Vec<Envelope<M>>>,
+    fresh: EnvBatch<M>,
+    rs: RouteScratch,
+    ds: DeliverScratch<M>,
+    pool: Vec<EnvBatch<M>>,
+    churn: ChurnCache,
     arena: NodeArena,
 }
 
 impl<M> Scratch<M> {
-    fn new(base: usize, len: usize) -> Self {
+    fn new(base: usize, len: usize, cfg: &RunConfig) -> Self {
         Self {
-            fresh: Vec::new(),
-            sorted: Vec::new(),
-            counts: Vec::new(),
+            fresh: EnvBatch::new(),
+            rs: RouteScratch::default(),
+            ds: DeliverScratch::default(),
             pool: Vec::new(),
+            churn: cfg.churn.cache(cfg.seed, base, len),
             arena: NodeArena::new(base, len),
         }
     }
 }
 
-/// Keep a drained buffer in `pool` for reuse (bounded, so a bursty
+/// Keep a drained batch in `pool` for reuse (bounded, so a bursty
 /// round cannot pin memory forever).
-fn recycle<M>(pool: &mut Vec<Vec<Envelope<M>>>, mut v: Vec<Envelope<M>>) {
-    if pool.len() < POOL_CAP && v.capacity() > 0 {
-        v.clear();
-        pool.push(v);
+fn recycle<M>(pool: &mut Vec<EnvBatch<M>>, mut b: EnvBatch<M>) {
+    if pool.len() < POOL_CAP && b.has_capacity() {
+        b.clear();
+        pool.push(b);
     }
-}
-
-/// Stable counting bucket pass: drain `segments` (in order) into `out`,
-/// grouped by `key` (an offset in `0..width`), preserving arrival order
-/// within each group. `O(m + width)` with zero comparisons.
-fn counting_bucket<M>(
-    segments: &mut [Vec<Envelope<M>>],
-    width: usize,
-    counts: &mut Vec<u32>,
-    out: &mut Vec<Envelope<M>>,
-    key: impl Fn(&Envelope<M>) -> usize,
-) {
-    out.clear();
-    counts.clear();
-    counts.resize(width, 0);
-    let total: usize = segments.iter().map(Vec::len).sum();
-    if total == 0 {
-        return;
-    }
-    out.reserve(total);
-    for seg in segments.iter() {
-        for env in seg {
-            counts[key(env)] += 1;
-        }
-    }
-    // Exclusive prefix sums: counts[k] becomes group k's write cursor.
-    let mut acc = 0u32;
-    for c in counts.iter_mut() {
-        let here = *c;
-        *c = acc;
-        acc += here;
-    }
-    // SAFETY: the write positions `counts[key] + within-group arrival
-    // index` are a permutation of `0..total` (counts were exact), so
-    // every reserved slot is initialized exactly once before `set_len`,
-    // and no envelope is dropped or duplicated.
-    let base = out.as_mut_ptr();
-    for seg in segments.iter_mut() {
-        for env in seg.drain(..) {
-            let k = key(&env);
-            let pos = counts[k] as usize;
-            counts[k] += 1;
-            unsafe { base.add(pos).write(env) };
-        }
-    }
-    unsafe { out.set_len(total) };
 }
 
 /// One shard's full round: the three phase hooks for the nodes in
@@ -318,18 +282,19 @@ fn run_shard_round<P: RoundProtocol>(
     };
 
     let mut tally = NetStats::default();
+    let Scratch {
+        fresh,
+        rs,
+        ds,
+        pool,
+        churn,
+        arena,
+    } = scratch;
     if !live.is_empty() {
-        cfg.churn.fill_live_mask(cfg.seed, round, h.base, live);
+        churn.fill_live_mask(round, live);
     }
     let up = |off: usize| live.is_empty() || live[off];
 
-    let Scratch {
-        fresh,
-        sorted,
-        counts,
-        pool,
-        arena,
-    } = scratch;
     fresh.clear();
     arena.begin_round();
 
@@ -343,38 +308,36 @@ fn run_shard_round<P: RoundProtocol>(
         proto.on_round_start(node, id, round, &mut rngs[off], &mut out);
     }
 
-    // Phase 2: deliveries in (dst, src, seq) order. Single-send-round
-    // buckets get the linear counting pass; mixed buckets pay a sort.
-    let ordered = &mut *sorted;
-    if mixed {
-        ordered.clear();
-        for seg in due.iter_mut() {
-            ordered.append(seg);
-        }
-        ordered.sort_unstable_by_key(|e| (e.dst, e.src, e.seq));
-    } else {
-        counting_bucket(&mut due, h.len, counts, ordered, |e| e.dst.index() - h.base);
-    }
+    // Phase 2: deliveries in (dst, src, seq) order — one stable
+    // counting pass over the batch headers (mixed buckets pay a stable
+    // sort), then one `on_receive_run` dispatch per destination.
+    let total = order_deliveries(&mut due, mixed, h.base, h.len, ds);
     for seg in due {
         recycle(pool, seg);
     }
-    for env in ordered.drain(..) {
-        let off = env.dst.index() - h.base;
-        if !up(off) {
-            tally.churn_lost += 1;
-            continue;
+    if total > 0 {
+        for off in 0..h.len {
+            let (s, e) = (ds.starts[off] as usize, ds.starts[off + 1] as usize);
+            if s == e {
+                continue;
+            }
+            if !up(off) {
+                tally.churn_lost += (e - s) as u64;
+                continue;
+            }
+            tally.delivered += (e - s) as u64;
+            let id = NodeId::from_index(h.base + off);
+            let mut out = Outbox::new(id, n, &mut seqs[off], fresh, arena);
+            proto.on_receive_run(
+                &mut nodes[off],
+                id,
+                &ds.srcs[s..e],
+                &ds.msgs[s..e],
+                round,
+                &mut rngs[off],
+                &mut out,
+            );
         }
-        tally.delivered += 1;
-        let mut out = Outbox::new(env.dst, n, &mut seqs[off], fresh, arena);
-        proto.on_message(
-            &mut nodes[off],
-            env.dst,
-            env.src,
-            env.msg,
-            round,
-            &mut rngs[off],
-            &mut out,
-        );
     }
 
     // Phase 3: round-end hooks, id order.
@@ -395,40 +358,42 @@ fn run_shard_round<P: RoundProtocol>(
         .streams()
         .then(|| observe_nodes(proto, h.base, nodes, round));
 
-    // Routing: order this shard's emissions by (src, seq) — a stable
-    // counting pass by source offset; per-source emission is already
-    // seq-ascending — then decide each survivor's fate and bucket it by
+    // Routing: the hoisted fate kernel walks this shard's emissions
+    // grouped by source (a counting pass over the run *headers*; per-
+    // source emission is already seq-ascending), derives the fate seed
+    // once per source, and buckets survivors by
     // [latency_slot][destination_shard]. Downstream splices preserve
-    // this order, which is what makes delivery-side counting exact.
-    let by_src = &mut *sorted;
-    counting_bucket(std::slice::from_mut(fresh), h.len, counts, by_src, |e| {
-        e.src.index() - h.base
-    });
+    // the (src, seq) order, which is what makes delivery-side counting
+    // exact.
+    //
     // Reuse last round's hollowed skeleton when its shape is right
-    // (always, except the first round); its spliced-out lanes were
-    // replaced by empty `Vec`s, which the pool re-backs on first push.
+    // (always, except the first round); its spliced-out batches were
+    // replaced by empty ones, which the pool re-backs on first push.
     let mut routed: Routed<P::Msg> = skeleton;
     if routed.len() != slots {
         routed = (0..slots)
-            .map(|_| (0..shards).map(|_| Vec::new()).collect())
+            .map(|_| (0..shards).map(|_| EnvBatch::new()).collect())
             .collect();
     }
-    for env in by_src.drain(..) {
-        tally.sent += 1;
-        tally.bytes_sent += proto.msg_bytes(&env.msg) as u64;
-        match cfg.conditions.fate(cfg.seed, &env) {
-            None => tally.dropped += 1,
-            Some(latency) => {
-                let bucket = &mut routed[(latency - 1) as usize][env.dst.index() / chunk];
-                if bucket.capacity() == 0 {
-                    if let Some(pooled) = pool.pop() {
-                        *bucket = pooled;
-                    }
+    route_sends(
+        fresh,
+        cfg.seed,
+        &cfg.conditions,
+        h.base,
+        h.len,
+        rs,
+        &mut tally,
+        |m| proto.msg_bytes(m),
+        |slot, src, dst, msg| {
+            let bucket = &mut routed[slot][dst.index() / chunk];
+            if !bucket.has_capacity() {
+                if let Some(pooled) = pool.pop() {
+                    *bucket = pooled;
                 }
-                bucket.push(env);
             }
-        }
-    }
+            bucket.push_grouped(src, dst, msg);
+        },
+    );
 
     RoundOut { routed, tally, obs }
 }
@@ -446,7 +411,7 @@ fn worker_loop<P: RoundProtocol>(
     tasks: Receiver<Task<P::Msg>>,
     results: Sender<RoundOut<P::Msg>>,
 ) {
-    let mut scratch = Scratch::new(h.base, h.len);
+    let mut scratch = Scratch::new(h.base, h.len, cfg);
     while let Ok(task) = tasks.recv() {
         let out = run_shard_round(&h, cfg, n, chunk, shards, slots, task, &mut scratch);
         if results.send(out).is_err() {
@@ -459,7 +424,7 @@ fn worker_loop<P: RoundProtocol>(
 struct Row<M> {
     /// `lanes[dest_shard]` = spliced segments, in arrival (= emission)
     /// order.
-    lanes: Vec<Vec<Vec<Envelope<M>>>>,
+    lanes: Vec<Vec<EnvBatch<M>>>,
     /// Send round that last filled this row (`u64::MAX` = never).
     filled_round: u64,
     /// Whether two different send rounds contributed (see [`Task::mixed`]).
@@ -768,42 +733,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::Envelope;
-
-    fn env(src: u32, dst: u32, seq: u64) -> Envelope<u32> {
-        Envelope {
-            src: NodeId(src),
-            dst: NodeId(dst),
-            seq,
-            msg: src * 1000 + seq as u32,
-        }
-    }
-
-    #[test]
-    fn counting_bucket_is_stable_and_complete() {
-        // Two segments whose concatenation is (src, seq)-sorted; bucket
-        // by dst must yield exactly the (dst, src, seq) sort.
-        let mut segments = vec![
-            vec![env(0, 2, 0), env(0, 1, 1), env(1, 2, 0)],
-            vec![env(3, 0, 0), env(3, 2, 1), env(4, 1, 2)],
-        ];
-        let mut expect: Vec<_> = segments.concat();
-        expect.sort_by_key(|e| (e.dst, e.src, e.seq));
-        let mut counts = Vec::new();
-        let mut out = Vec::new();
-        counting_bucket(&mut segments, 5, &mut counts, &mut out, |e| e.dst.index());
-        assert_eq!(out, expect);
-        assert!(segments.iter().all(Vec::is_empty), "segments are drained");
-    }
-
-    #[test]
-    fn counting_bucket_handles_empty_input() {
-        let mut segments: Vec<Vec<Envelope<u32>>> = vec![Vec::new(), Vec::new()];
-        let mut counts = Vec::new();
-        let mut out = vec![env(0, 0, 0)]; // stale scratch must be cleared
-        counting_bucket(&mut segments, 4, &mut counts, &mut out, |e| e.dst.index());
-        assert!(out.is_empty());
-    }
 
     #[test]
     fn pooled_run_matches_scoped_run_bit_for_bit() {
@@ -863,13 +792,16 @@ mod tests {
 
     #[test]
     fn recycle_pool_is_bounded() {
-        let mut pool: Vec<Vec<Envelope<u32>>> = Vec::new();
+        let mut pool: Vec<EnvBatch<u32>> = Vec::new();
         for _ in 0..(POOL_CAP + 10) {
-            recycle(&mut pool, Vec::with_capacity(4));
+            let mut b = EnvBatch::new();
+            b.push(NodeId(0), 0, NodeId(0), 1); // give it capacity
+            recycle(&mut pool, b);
         }
         assert_eq!(pool.len(), POOL_CAP);
-        // Zero-capacity vectors are not worth pooling.
-        recycle(&mut pool, Vec::new());
+        assert!(pool.iter().all(EnvBatch::is_empty), "recycled cleared");
+        // Zero-capacity batches are not worth pooling.
+        recycle(&mut pool, EnvBatch::new());
         assert_eq!(pool.len(), POOL_CAP);
     }
 }

@@ -91,6 +91,7 @@
 
 pub mod adapters;
 pub mod arena;
+pub mod batch;
 pub mod churn;
 pub mod conditions;
 pub mod exec;
@@ -104,8 +105,9 @@ pub use adapters::{
     RtPull, RtPush, RtPushPull, RuntimeDating, SpreadRunSummary,
 };
 pub use arena::NodeArena;
+pub use batch::{EnvBatch, SrcRun};
 pub use churn::{Churn, ChurnModel};
-pub use conditions::{Conditions, LatencyDist};
+pub use conditions::{Conditions, FateRun, LatencyDist};
 pub use exec::{
     ConditionedExecutor, EventExecutor, Executor, PoolScope, SequentialExecutor, ShardedExecutor,
     WorkerPool, TICKS_PER_SEC,

@@ -19,6 +19,7 @@
 //! lint: deterministic
 
 use crate::arena::NodeArena;
+use crate::batch::EnvBatch;
 use rand::rngs::SmallRng;
 use rendez_sim::NodeId;
 
@@ -28,6 +29,15 @@ use rendez_sim::NodeId;
 /// `(src, seq)` uniquely identifies a message within a run and is a pure
 /// function of protocol behaviour (never of executor scheduling), which is
 /// what makes delivery order and per-message fate reproducible.
+///
+/// On the executor hot path this AoS record no longer exists: queued
+/// messages live in [`EnvBatch`] lanes, which store `dst` and `msg` in
+/// flat arrays and carry `(src, first_seq, len)` once per *run* of
+/// consecutive same-sender messages (see the [`batch`](crate::batch)
+/// module docs for the invariants). `Envelope` remains the canonical
+/// per-message identity — [`Conditions::fate`](crate::Conditions::fate)
+/// is specified against it, and `EnvBatch` round-trips to an `Envelope`
+/// stream bit-for-bit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<M> {
     /// Sender.
@@ -50,7 +60,7 @@ pub struct Outbox<'a, M> {
     src: NodeId,
     n: usize,
     seq: &'a mut u64,
-    env: &'a mut Vec<Envelope<M>>,
+    env: &'a mut EnvBatch<M>,
     arena: &'a mut NodeArena,
 }
 
@@ -70,7 +80,7 @@ impl<'a, M> Outbox<'a, M> {
         src: NodeId,
         n: usize,
         seq: &'a mut u64,
-        env: &'a mut Vec<Envelope<M>>,
+        env: &'a mut EnvBatch<M>,
         arena: &'a mut NodeArena,
     ) -> Self {
         Self {
@@ -100,12 +110,7 @@ impl<'a, M> Outbox<'a, M> {
         if dst.index() >= self.n {
             bad_destination(dst, self.n);
         }
-        self.env.push(Envelope {
-            src: self.src,
-            dst,
-            seq: *self.seq,
-            msg,
-        });
+        self.env.push(self.src, *self.seq, dst, msg);
         *self.seq += 1;
     }
 
@@ -261,8 +266,12 @@ pub enum Verdict<R> {
 ///
 /// 1. [`on_round_start`](Self::on_round_start) for every node, in id
 ///    order — emit this round's messages;
-/// 2. [`on_message`](Self::on_message) for every delivery due this round,
-///    in `(dst, src, seq)` order — absorb messages, possibly reply;
+/// 2. [`on_receive_run`](Self::on_receive_run) for every destination
+///    with deliveries due this round, in ascending destination order,
+///    each run sorted by `(src, seq)` — i.e. the canonical
+///    `(dst, src, seq)` per-message schedule, dispatched once per
+///    destination (the default forwards to
+///    [`on_message`](Self::on_message) per entry);
 /// 3. [`on_round_end`](Self::on_round_end) for every node, in id order —
 ///    local end-of-round processing (e.g. matchmaking), possibly sending;
 /// 4. observation — either the **streaming path** (when
@@ -282,8 +291,11 @@ pub enum Verdict<R> {
 pub trait RoundProtocol: Sync {
     /// Per-node state.
     type Node: Send;
-    /// The message type exchanged between nodes.
-    type Msg: Send;
+    /// The message type exchanged between nodes. `Clone` (in practice:
+    /// `Copy` — payloads are small value enums) lets the executors keep
+    /// messages in flat [`EnvBatch`] arrays and hand delivery slices to
+    /// [`on_receive_run`](Self::on_receive_run).
+    type Msg: Send + Clone;
     /// The protocol's final result, produced on halt.
     type Output;
 
@@ -313,6 +325,35 @@ pub trait RoundProtocol: Sync {
         rng: &mut SmallRng,
         out: &mut Outbox<'_, Self::Msg>,
     );
+
+    /// All of round `round`'s deliveries for `id`, in one call: `srcs`
+    /// and `msgs` are parallel slices holding the senders and payloads
+    /// in canonical `(src, seq)` order — together with the executor
+    /// delivering destinations in ascending order, exactly the
+    /// per-message `(dst, src, seq)` schedule.
+    ///
+    /// The default forwards to [`on_message`](Self::on_message) once per
+    /// entry and **must stay observably equivalent in any override**:
+    /// same state transitions, same sends in the same order, same RNG
+    /// consumption. Overriding buys batch-level optimisation (hoisted
+    /// field accesses, one accumulator write-back instead of `len`
+    /// read-modify-writes), not different semantics — digest traces are
+    /// compared across executors, which all dispatch through this hook.
+    #[allow(clippy::too_many_arguments)]
+    fn on_receive_run(
+        &self,
+        node: &mut Self::Node,
+        id: NodeId,
+        srcs: &[NodeId],
+        msgs: &[Self::Msg],
+        round: u64,
+        rng: &mut SmallRng,
+        out: &mut Outbox<'_, Self::Msg>,
+    ) {
+        for (from, msg) in srcs.iter().zip(msgs) {
+            self.on_message(node, id, *from, msg.clone(), round, rng, out);
+        }
+    }
 
     /// Round `round` ends for `id`, after all deliveries.
     fn on_round_end(
@@ -420,8 +461,9 @@ pub trait RoundProtocol: Sync {
 pub trait AsyncProtocol: Sync {
     /// Per-node state.
     type Node: Send;
-    /// The message type exchanged between nodes.
-    type Msg: Send;
+    /// The message type exchanged between nodes. `Clone` lets the
+    /// executor park payloads out of flat [`EnvBatch`] send buffers.
+    type Msg: Send + Clone;
     /// The protocol's final result, produced on halt.
     type Output;
 
@@ -499,7 +541,7 @@ mod tests {
     #[test]
     fn outbox_stamps_src_and_seq() {
         let mut seq = 5u64;
-        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut env: EnvBatch<u8> = EnvBatch::new();
         let mut arena = arena(4);
         let mut out = Outbox::new(NodeId(2), 4, &mut seq, &mut env, &mut arena);
         assert_eq!(out.src(), NodeId(2));
@@ -507,17 +549,19 @@ mod tests {
         out.send(NodeId(0), 7);
         out.send(NodeId(3), 9);
         assert_eq!(seq, 7);
-        assert_eq!(env[0].src, NodeId(2));
-        assert_eq!(env[0].dst, NodeId(0));
-        assert_eq!(env[0].seq, 5);
-        assert_eq!(env[1].seq, 6);
+        let envs = env.to_envelopes();
+        assert_eq!(envs[0].src, NodeId(2));
+        assert_eq!(envs[0].dst, NodeId(0));
+        assert_eq!(envs[0].seq, 5);
+        assert_eq!(envs[1].seq, 6);
+        assert_eq!(env.runs().len(), 1, "consecutive sends share one run");
     }
 
     #[test]
     #[should_panic(expected = "out-of-range")]
     fn outbox_rejects_bad_destination() {
         let mut seq = 0u64;
-        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut env: EnvBatch<u8> = EnvBatch::new();
         let mut arena = arena(2);
         let mut out = Outbox::new(NodeId(0), 2, &mut seq, &mut env, &mut arena);
         out.send(NodeId(2), 1);
@@ -526,7 +570,7 @@ mod tests {
     #[test]
     fn outbox_stash_lanes_are_per_sender() {
         let mut seq = 0u64;
-        let mut env: Vec<Envelope<u8>> = Vec::new();
+        let mut env: EnvBatch<u8> = EnvBatch::new();
         let mut arena = arena(4);
         {
             let mut out = Outbox::new(NodeId(1), 4, &mut seq, &mut env, &mut arena);
